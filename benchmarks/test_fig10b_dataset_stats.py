@@ -1,0 +1,41 @@
+"""Fig. 10(b): dataset statistics — published C subtrees vs compressed DAG,
+|M| and |L| per |C| — plus the publish cost itself.
+
+Paper shape: all quantities grow linearly-ish with |C|; sharing of C
+instances sits around 31.4%.
+"""
+
+import pytest
+
+from conftest import SIZES, fresh_updater
+from repro.atg.publisher import publish_store
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+
+@pytest.mark.parametrize("n_c", SIZES)
+def test_publish_dag(benchmark, n_c):
+    dataset = build_synthetic(SyntheticConfig(n_c=n_c))
+    store = benchmark(publish_store, dataset.atg, dataset.db)
+    assert store.num_nodes > 0
+
+
+@pytest.mark.parametrize("n_c", SIZES)
+def test_dataset_statistics_shape(readonly_updaters, n_c):
+    updater, _ = readonly_updaters[n_c]
+    store = updater.store
+    cnodes = [n for n in store.nodes() if store.type_of(n) == "cnode"]
+    shared = sum(1 for n in cnodes if store.in_degree(n) > 1)
+    rate = shared / len(cnodes)
+    # Paper: 31.4% of C instances shared; accept a generous band.
+    assert 0.15 < rate < 0.55, f"sharing rate {rate:.1%} out of band"
+    assert len(updater.topo) == store.num_nodes
+    assert len(updater.reach) > store.num_edges
+
+
+def test_stats_grow_linearly(readonly_updaters):
+    small, _ = readonly_updaters[SIZES[0]]
+    large, _ = readonly_updaters[SIZES[-1]]
+    factor = SIZES[-1] / SIZES[0]
+    node_growth = large.store.num_nodes / small.store.num_nodes
+    # DAG nodes grow roughly with |C| (within 3x of linear).
+    assert factor / 3 < node_growth < factor * 3

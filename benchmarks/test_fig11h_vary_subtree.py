@@ -1,0 +1,57 @@
+"""Fig. 11(h): runtime vs inserted-subtree size |ST(A,t)| at |r[[p]]| = 1.
+
+Paper shape: Xdelete is flat (fixed |Ep(r)|); Xinsert and the maintenance
+algorithms scale linearly with the subtree size.
+"""
+
+import pytest
+
+from conftest import fresh_updater
+from repro.bench.experiments import fig11h_vary_subtree
+
+N_C = 360
+
+
+def test_subtree_size_series_shape():
+    rows = fig11h_vary_subtree(n_c=N_C, print_report=False)
+    assert len(rows) >= 3
+    sizes = [r["st_nodes"] for r in rows]
+    assert sizes == sorted(sizes)
+    # Maintenance cost grows with the subtree size (compare the two ends,
+    # requiring a clear factor to be robust against timing noise).
+    small, large = rows[0], rows[-1]
+    assert large["st_nodes"] > 4 * small["st_nodes"]
+    assert large["maintain_s"] > small["maintain_s"]
+
+
+@pytest.mark.parametrize("layer_index", [0, -1])
+def test_insert_subtree_extremes(benchmark, layer_index):
+    """Benchmark inserting the smallest vs largest available subtree."""
+
+    def setup():
+        updater, dataset = fresh_updater(N_C)
+        store = updater.store
+        by_layer = {}
+        for node in sorted(store.nodes()):
+            if store.type_of(node) != "cnode":
+                continue
+            key = store.sem_of(node)[0]
+            by_layer.setdefault(dataset.layer_of[key], []).append(key)
+        layers = sorted(by_layer)
+        layer = layers[1] if layer_index == 0 else layers[-1]
+        key = by_layer[layer][0]
+        row = dataset.db.table("C").get((key,))
+        target = None
+        for node in sorted(store.nodes()):
+            if (
+                store.type_of(node) == "sub"
+                and dataset.layer_of[store.sem_of(node)[0]] == 0
+            ):
+                target = store.sem_of(node)[0]
+                break
+        return (updater, f"cnode[key={target}]/sub", (key, row[4])), {}
+
+    def work(updater, path, sem):
+        return updater.insert(path, "cnode", sem)
+
+    benchmark.pedantic(work, setup=setup, rounds=2, iterations=1)

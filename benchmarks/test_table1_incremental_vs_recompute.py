@@ -1,0 +1,66 @@
+"""Table 1: incremental maintenance of L and M vs batch recomputation.
+
+Paper shape: incremental maintenance beats recomputation, and the
+advantage widens as |C| grows.
+"""
+
+import time
+
+import pytest
+
+from conftest import SIZES, fresh_updater
+from repro.baselines.recompute import recompute_structures
+from repro.workloads.queries import make_workload
+
+OPS = 4
+
+
+def incremental_maintenance_seconds(n_c: int, kind: str) -> float:
+    updater, dataset = fresh_updater(n_c)
+    total = 0.0
+    for op in make_workload(dataset, kind, "W2", count=OPS):
+        if kind == "insert":
+            outcome = updater.insert(op.path, op.element, op.sem)
+        else:
+            outcome = updater.delete(op.path)
+        total += outcome.timings.get("maintain", 0.0)
+    return total
+
+
+@pytest.mark.parametrize("n_c", SIZES)
+@pytest.mark.parametrize("kind", ["insert", "delete"])
+def test_incremental_maintenance(benchmark, n_c, kind):
+    def setup():
+        updater, dataset = fresh_updater(n_c)
+        ops = make_workload(dataset, kind, "W2", count=OPS)
+        return (updater, ops), {}
+
+    def work(updater, ops):
+        for op in ops:
+            if op.kind == "insert":
+                updater.insert(op.path, op.element, op.sem)
+            else:
+                updater.delete(op.path)
+
+    benchmark.pedantic(work, setup=setup, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("n_c", SIZES)
+def test_recomputation(benchmark, n_c):
+    updater, _ = fresh_updater(n_c)
+    timings = benchmark(recompute_structures, updater.store)
+    assert timings.total_seconds > 0
+
+
+def test_incremental_beats_recompute_at_scale():
+    """The paper's Table-1 claim, at the largest benchmark size."""
+    n_c = SIZES[-1]
+    updater, dataset = fresh_updater(n_c)
+    inc = incremental_maintenance_seconds(n_c, "delete")
+    t0 = time.perf_counter()
+    for _ in range(OPS):
+        recompute_structures(updater.store)
+    batch = time.perf_counter() - t0
+    assert inc < batch, (
+        f"incremental {inc:.4f}s should beat {OPS}x recompute {batch:.4f}s"
+    )

@@ -1,0 +1,79 @@
+"""Side effects of XML view updates (paper Section 2.1, Example 1).
+
+Course CS320 occurs twice in the view: as a root course and as CS650's
+prerequisite — the *same* DAG node, because the subtree property pins a
+subtree to its ``(type, $A)`` identity.  Updating "only the CS320 below
+CS650" is therefore impossible; the paper's revised semantics applies the
+update at *every* occurrence, after warning the user.
+
+This example shows both policies:
+
+- ``ABORT`` (default): the update is rejected with the offending nodes;
+- ``PROPAGATE``: the update is carried out under the revised semantics.
+
+Run:  python examples/registrar_side_effects.py
+"""
+
+from repro import SideEffectPolicy, XMLViewUpdater
+from repro.errors import SideEffectError
+from repro.workloads.registrar import build_registrar
+from repro.xmltree.serialize import to_xml_string
+
+
+def main() -> None:
+    path = "course[cno=CS650]//course[cno=CS320]/prereq"
+    subtree = ("CS240", "Data Structures")
+
+    # -- 1. detection + abort ---------------------------------------------------
+    atg, db = build_registrar()
+    # Give the example a second prerequisite edge so the insert is not a
+    # no-op: CS500 (instead of the already-present CS240).
+    subtree = ("CS500", "Operating Systems")
+    updater = XMLViewUpdater(atg, db)  # policy defaults to ABORT
+    print(f"insert (course, {subtree[0]}) into {path}")
+    try:
+        updater.insert(path, "course", subtree)
+    except SideEffectError as exc:
+        print("  -> rejected:", exc)
+        witnesses = [
+            (updater.store.type_of(n), updater.store.sem_of(n))
+            for n in sorted(exc.affected)
+        ]
+        print("  -> unselected occurrences reachable via:", witnesses)
+
+    # -- 2. propagate under the revised semantics --------------------------------
+    atg, db = build_registrar()
+    updater = XMLViewUpdater(
+        atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
+    )
+    outcome = updater.insert(path, "course", subtree)
+    print("\nwith PROPAGATE policy: accepted =", outcome.accepted)
+    print("ΔR =", [(op.kind, op.relation, op.row) for op in outcome.delta_r])
+
+    tree = updater.xml_tree()
+    print("\nEvery CS320 occurrence now lists CS500 as a prerequisite:")
+    for node in tree.iter():
+        if node.tag == "course" and node.sem[0] == "CS320":
+            prereqs = [c.sem[0] for c in node.child_by_tag("prereq").children]
+            print("  CS320 occurrence -> prereqs:", prereqs)
+
+    print("\nConsistency:", updater.check_consistency() or "OK")
+
+    # -- 3. deletions have subtler side effects (Section 2.1) --------------------
+    atg, db = build_registrar()
+    updater = XMLViewUpdater(atg, db)
+    try:
+        # CS320's prereq list is shared between its root occurrence and
+        # its occurrence under CS650: deleting via the root path only is
+        # a side effect.
+        updater.delete("course[cno=CS320]/prereq/course[cno=CS240]")
+    except SideEffectError as exc:
+        print("\ndeletion via one occurrence rejected:", exc)
+    # The descendant axis selects every occurrence: no side effect.
+    outcome = updater.delete("//course[cno=CS320]/prereq/course[cno=CS240]")
+    print("deletion via // accepted =", outcome.accepted)
+    print("ΔR =", [(op.kind, op.relation, op.row) for op in outcome.delta_r])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Storing the XML view in relations — on disk (paper Section 2.3).
+
+The DAG coding (gen tables + edge relations) is itself relational data;
+this example materializes it, persists both the base database and the
+view coding into SQLite, and cross-checks the generated SQL against the
+in-memory engine.
+
+Run:  python examples/sqlite_roundtrip.py
+"""
+
+from repro import XMLViewUpdater
+from repro.relational.sqlgen import select_sql
+from repro.relational.sqlite_backend import dump_to_sqlite, run_query_sqlite
+from repro.workloads.registrar import build_registrar, registrar_schemas
+
+
+def main() -> None:
+    atg, db = build_registrar()
+    updater = XMLViewUpdater(atg, db)
+
+    # -- the base database on disk ------------------------------------------------
+    conn = dump_to_sqlite(db)
+    schemas = {s.name: s for s in registrar_schemas()}
+    print("Base relations persisted to SQLite:")
+    for name in db.table_names():
+        count = conn.execute(f"SELECT COUNT(*) FROM {name}").fetchone()[0]
+        print(f"  {name}: {count} rows")
+
+    # -- the edge views, executed as real SQL --------------------------------------
+    print("\nEdge views evaluated on SQLite vs the in-memory engine:")
+    for view in updater.registry.views():
+        sqlite_rows = run_query_sqlite(conn, view.query, schemas=schemas)
+        memory_rows = set(view.query.evaluate(db).rows)
+        status = "match" if sqlite_rows == memory_rows else "MISMATCH"
+        print(f"  {view.name}: {len(sqlite_rows)} rows [{status}]")
+        print(f"    SQL: {select_sql(view.query)[:100]}...")
+
+    # -- the DAG coding itself on disk ---------------------------------------------
+    view_db = updater.store.to_database()
+    view_conn = dump_to_sqlite(view_db)
+    print("\nDAG coding persisted to SQLite (V = gen_A + edge_A_B tables):")
+    for name in sorted(view_db.table_names()):
+        count = view_conn.execute(f"SELECT COUNT(*) FROM {name}").fetchone()[0]
+        print(f"  {name}: {count} rows")
+
+    # A recursive SQL query over the edge relations: CS650's transitive
+    # prerequisites, straight off the stored DAG.
+    sql = """
+    WITH RECURSIVE reach(id) AS (
+        SELECT e.child FROM edge_prereq_course e
+        JOIN gen_prereq g ON g.id = e.parent
+        WHERE g.a_cno = 'CS650'
+        UNION
+        SELECT e2.child
+        FROM reach r
+        JOIN gen_course c ON c.id = r.id
+        JOIN gen_prereq g2 ON g2.a_cno = c.a_cno
+        JOIN edge_prereq_course e2 ON e2.parent = g2.id
+    )
+    SELECT DISTINCT c.a_cno FROM reach r JOIN gen_course c ON c.id = r.id
+    ORDER BY c.a_cno
+    """
+    rows = view_conn.execute(sql).fetchall()
+    print("\nTransitive prerequisites of CS650 (recursive SQL on the "
+          "stored DAG):", [r[0] for r in rows])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — Updating Recursive XML Views of Relations.
+
+A full reproduction of Choi, Cong, Fan & Viglas (ICDE 2007 / JCST 2008):
+schema-directed XML publishing via attribute translation grammars (ATGs),
+DAG compression of recursively defined XML views stored in relations,
+XPath evaluation on DAGs with side-effect detection, translation of XML
+view updates to relational view updates, and SPJ view update processing
+under key preservation (PTIME deletions, SAT-based insertions).
+
+Quickstart::
+
+    from repro import XMLViewUpdater
+    from repro.workloads.registrar import build_registrar
+
+    atg, db = build_registrar()
+    updater = XMLViewUpdater(atg, db)
+    print(updater.xml_tree())
+    updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+"""
+
+from repro.atg import ATG, ProjectionRule, QueryRule, publish_store, publish_tree
+from repro.core import (
+    DagXPathEvaluator,
+    ReachabilityMatrix,
+    SideEffectPolicy,
+    TopoOrder,
+    UpdateOutcome,
+    XMLViewUpdater,
+    compute_reach,
+)
+from repro.dtd import DTD, parse_dtd
+from repro.errors import (
+    ReproError,
+    SideEffectError,
+    UpdateRejectedError,
+    ValidationError,
+)
+from repro.relational import (
+    AttrType,
+    Database,
+    RelationSchema,
+    SPJQuery,
+)
+from repro.views import ViewStore, build_registry
+from repro.xpath import parse_xpath
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ATG",
+    "ProjectionRule",
+    "QueryRule",
+    "publish_store",
+    "publish_tree",
+    "DagXPathEvaluator",
+    "ReachabilityMatrix",
+    "SideEffectPolicy",
+    "TopoOrder",
+    "UpdateOutcome",
+    "XMLViewUpdater",
+    "compute_reach",
+    "DTD",
+    "parse_dtd",
+    "ReproError",
+    "SideEffectError",
+    "UpdateRejectedError",
+    "ValidationError",
+    "AttrType",
+    "Database",
+    "RelationSchema",
+    "SPJQuery",
+    "ViewStore",
+    "build_registry",
+    "parse_xpath",
+    "__version__",
+]

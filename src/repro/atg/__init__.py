@@ -1,0 +1,36 @@
+"""Attribute Translation Grammars (ATGs): schema-directed XML publishing.
+
+An ATG ``σ : R → D`` (paper, Section 2.2) pairs a DTD ``D`` with, for
+every production edge ``A → ... B ...``, a rule that computes the
+semantic attribute ``$B`` of the ``B`` children from ``$A``:
+
+- :class:`~repro.atg.model.ProjectionRule` for sequence/alternation
+  children (``$cno = $course.cno`` style assignments);
+- :class:`~repro.atg.model.QueryRule` for starred children
+  (``$B ← Q($A)``, an SPJ query parameterized by the parent's tuple).
+
+The publisher (:mod:`repro.atg.publisher`) materializes ``σ(I)`` directly
+as a DAG (:class:`~repro.views.store.ViewStore`) — one node per
+``(type, $A)`` pair — or as an uncompressed tree for the baselines.
+"""
+
+from repro.atg.model import ATG, ProjectionRule, QueryRule, ChildRule
+from repro.atg.publisher import (
+    publish_store,
+    publish_subtree,
+    publish_tree,
+    unfold_to_tree,
+    SubtreeResult,
+)
+
+__all__ = [
+    "ATG",
+    "ChildRule",
+    "ProjectionRule",
+    "QueryRule",
+    "publish_store",
+    "publish_tree",
+    "publish_subtree",
+    "unfold_to_tree",
+    "SubtreeResult",
+]

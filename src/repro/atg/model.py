@@ -1,0 +1,170 @@
+"""ATG definition: DTD + per-edge semantic-attribute rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.dtd.model import DTD, Alternation, Sequence as SeqContent, Star
+from repro.errors import ATGError
+from repro.relational.query import SPJQuery
+
+
+class ChildRule:
+    """Base class: computes the ``$B`` tuples of the B children of an A node."""
+
+    parent: str
+    child: str
+
+
+@dataclass(frozen=True)
+class ProjectionRule(ChildRule):
+    """Sequence/alternation child: ``$B`` is a projection of ``$A``.
+
+    ``mapping`` lists, for each column of ``$B``, the name of the parent
+    column it copies (e.g. ``$cno = $course.cno`` becomes
+    ``ProjectionRule('course', 'cno', ('cno',))``).
+    """
+
+    parent: str
+    child: str
+    mapping: tuple[str, ...]
+
+    def project(self, parent_columns: Sequence[str], parent_sem: tuple) -> tuple:
+        index = {name: i for i, name in enumerate(parent_columns)}
+        try:
+            return tuple(parent_sem[index[name]] for name in self.mapping)
+        except KeyError as exc:
+            raise ATGError(
+                f"rule {self.parent}->{self.child} references unknown parent "
+                f"column {exc.args[0]!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class QueryRule(ChildRule):
+    """Starred child: ``$B ← Q($A)``.
+
+    The SPJ query's parameters are named after columns of the parent's
+    semantic attribute; its output columns define ``$B``'s signature.
+    """
+
+    parent: str
+    child: str
+    query: SPJQuery
+
+    def bindings_for(
+        self, parent_columns: Sequence[str], parent_sem: tuple
+    ) -> dict[str, object]:
+        index = {name: i for i, name in enumerate(parent_columns)}
+        bindings: dict[str, object] = {}
+        for param in self.query.params():
+            if param not in index:
+                raise ATGError(
+                    f"rule {self.parent}->{self.child}: query parameter "
+                    f"{param!r} is not a column of ${self.parent}"
+                )
+            bindings[param] = parent_sem[index[param]]
+        return bindings
+
+
+class ATG:
+    """An attribute translation grammar ``σ : R → D``.
+
+    Parameters
+    ----------
+    dtd:
+        The (possibly recursive) DTD the published views conform to.
+    signatures:
+        For each element type, the column names of its semantic attribute
+        ``$A``.  PCDATA leaves conventionally have a single column whose
+        value is the element's text.
+    rules:
+        One :class:`ChildRule` per DTD edge ``(parent, child)``.  Starred
+        children must use :class:`QueryRule`; sequence and alternation
+        children must use :class:`ProjectionRule`.
+    root_sem:
+        The semantic attribute of the root element (usually ``()``).
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        signatures: Mapping[str, Sequence[str]],
+        rules: Sequence[ChildRule],
+        root_sem: tuple = (),
+    ):
+        self.dtd = dtd
+        self.signatures: dict[str, tuple[str, ...]] = {
+            t: tuple(cols) for t, cols in signatures.items()
+        }
+        self.root_sem = tuple(root_sem)
+        self.rules: dict[tuple[str, str], ChildRule] = {}
+        for rule in rules:
+            key = (rule.parent, rule.child)
+            if key in self.rules:
+                raise ATGError(f"duplicate rule for edge {key}")
+            self.rules[key] = rule
+        self._validate()
+
+    def _validate(self) -> None:
+        for element in self.dtd.types:
+            if element not in self.signatures:
+                raise ATGError(f"no semantic-attribute signature for {element!r}")
+        for parent, child in self.dtd.edges():
+            rule = self.rules.get((parent, child))
+            if rule is None:
+                raise ATGError(f"no rule for DTD edge {parent}->{child}")
+            content = self.dtd.content(parent)
+            if isinstance(content, Star) and not isinstance(rule, QueryRule):
+                raise ATGError(
+                    f"starred edge {parent}->{child} requires a QueryRule"
+                )
+            if isinstance(content, (SeqContent, Alternation)) and not isinstance(
+                rule, ProjectionRule
+            ):
+                raise ATGError(
+                    f"sequence edge {parent}->{child} requires a ProjectionRule"
+                )
+            if isinstance(rule, ProjectionRule):
+                if len(rule.mapping) != len(self.signatures[child]):
+                    raise ATGError(
+                        f"rule {parent}->{child}: mapping arity "
+                        f"{len(rule.mapping)} != ${child} arity "
+                        f"{len(self.signatures[child])}"
+                    )
+            if isinstance(rule, QueryRule):
+                if len(rule.query.project) != len(self.signatures[child]):
+                    raise ATGError(
+                        f"rule {parent}->{child}: query projects "
+                        f"{len(rule.query.project)} columns but ${child} has "
+                        f"{len(self.signatures[child])}"
+                    )
+        extra = set(self.rules) - set(self.dtd.edges())
+        if extra:
+            raise ATGError(f"rules for non-DTD edges: {sorted(extra)}")
+
+    # -- accessors --------------------------------------------------------------
+
+    def rule(self, parent: str, child: str) -> ChildRule:
+        try:
+            return self.rules[(parent, child)]
+        except KeyError:
+            raise ATGError(f"no rule for edge {parent}->{child}") from None
+
+    def signature(self, element: str) -> tuple[str, ...]:
+        try:
+            return self.signatures[element]
+        except KeyError:
+            raise ATGError(f"no signature for element type {element!r}") from None
+
+    def query_rules(self) -> list[QueryRule]:
+        """All star-child rules, in deterministic order."""
+        return sorted(
+            (r for r in self.rules.values() if isinstance(r, QueryRule)),
+            key=lambda r: (r.parent, r.child),
+        )
+
+    @property
+    def root(self) -> str:
+        return self.dtd.root

@@ -1,0 +1,43 @@
+"""Uncompressed-tree baseline: what a system without DAG compression does.
+
+The paper motivates DAG compression by the (possibly exponential) blowup
+of the unfolded tree and by prior work's tree-only evaluation.  This
+baseline materializes the full tree, evaluates XPath node-at-a-time on
+it, and re-publishes the whole tree after a base update — the costs the
+paper's architecture avoids.  Used by the A-2 ablation benchmarks and as
+a cross-check oracle in tests.
+"""
+
+from __future__ import annotations
+
+from repro.atg.model import ATG
+from repro.atg.publisher import publish_tree
+from repro.relational.database import Database
+from repro.xmltree.tree import XMLNode, tree_size
+from repro.xpath.ast import XPath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.tree_eval import evaluate_on_tree
+
+
+class TreeUpdater:
+    """Tree-based (uncompressed) view processing."""
+
+    def __init__(self, atg: ATG, db: Database, max_nodes: int = 10_000_000):
+        self.atg = atg
+        self.db = db
+        self.max_nodes = max_nodes
+        self.tree: XMLNode = publish_tree(atg, db, max_nodes=max_nodes)
+
+    @property
+    def size(self) -> int:
+        """Number of element nodes of the unfolded tree."""
+        return tree_size(self.tree)
+
+    def evaluate(self, path: str | XPath) -> list[XMLNode]:
+        parsed = parse_xpath(path) if isinstance(path, str) else path
+        return evaluate_on_tree(parsed, self.tree)
+
+    def republish(self) -> XMLNode:
+        """Full re-publication after a base update (no incrementality)."""
+        self.tree = publish_tree(self.atg, self.db, max_nodes=self.max_nodes)
+        return self.tree

@@ -1,0 +1,455 @@
+"""Two-pass XPath evaluation on DAGs with side-effect detection (§3.2).
+
+Given an XPath ``p``, the relational DAG view ``V`` (a
+:class:`~repro.views.store.ViewStore`), the topological order ``L`` and
+the reachability matrix ``M``, the evaluator computes:
+
+- ``r[[p]]`` — the selected nodes (with their types);
+- ``Ep(r)`` — for every selected node ``v``, the parent edges ``(u, v)``
+  through which ``p`` reaches ``v`` (needed by deletions);
+- ``S`` — the side-effect set: nodes through which an *unselected*
+  occurrence of an affected node is reachable.  ``S ≠ ∅`` iff the update
+  has XML side effects under the paper's revised semantics.
+
+**Bottom-up pass.**  Every filter sub-expression of ``p`` is evaluated at
+every node by dynamic programming over ``L`` (children before parents):
+``val(q, v)`` — does ``q`` hold at ``v`` — and, for path suffixes behind
+a ``//``, ``desc(q, v)`` — does ``q`` hold at some descendant-or-self of
+``v``.  Each node is visited once per sub-expression, giving the paper's
+``O(|p|·|V|)`` bound without recursion over the (possibly deep) data.
+
+**Top-down pass.**  The step contexts ``C0 ⊇ root, C1, ..., Cn`` are
+computed left to right; child steps record their arrival edges, ``//``
+steps their *region* (descendant-or-self closure of the previous
+context, fetched from ``M``).
+
+**Side-effect detection.**  The update affects node ``w`` (the selected
+node for insertions; the modified parent for deletions).  There is a side
+effect iff some root-to-``w`` path is not matched by the relevant prefix
+of ``p``.  The detector walks *backwards* from the affected nodes through
+the recorded arrival structure; any incoming edge from outside the
+matched structure witnesses an unmatched occurrence and its source node
+is added to ``S``.  This refines the paper's per-step rule (which flags
+parents of every intermediate context) to the nodes actually affected,
+while keeping the same single-pass complexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.reachability import ReachabilityMatrix
+from repro.core.topo import TopoOrder
+from repro.views.store import ViewStore
+from repro.xpath.ast import (
+    DescendantStep,
+    ExistsPath,
+    FAnd,
+    FNot,
+    FOr,
+    Filter,
+    FilterStep,
+    LabelStep,
+    LabelTest,
+    ValueEq,
+    WildcardStep,
+    XPath,
+)
+
+# An arrival level: the step index at which a node sits in the matched
+# structure.  Level i means "member of context C_i"; for a ``//`` step i,
+# region members that are not in C_{i-1} also live at level i.
+_PathKey = tuple[XPath, str | None]
+
+
+@dataclass
+class EvalResult:
+    """Outcome of evaluating an XPath on the DAG."""
+
+    path: XPath
+    targets: list[int] = field(default_factory=list)
+    ep: list[tuple[int, int, int]] = field(default_factory=list)
+    """``Ep(r)`` as (parent, child, parent_level) triples."""
+    side_effects: set[int] = field(default_factory=set)
+    contexts: list[list[int]] = field(default_factory=list)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return bool(self.side_effects)
+
+    def ep_edges(self) -> list[tuple[int, int]]:
+        return [(u, v) for u, v, _ in self.ep]
+
+
+class DagXPathEvaluator:
+    """Evaluator bound to one (store, topo, reachability) triple."""
+
+    def __init__(
+        self, store: ViewStore, topo: TopoOrder, reach: ReachabilityMatrix
+    ):
+        self.store = store
+        self.topo = topo
+        self.reach = reach
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, path: XPath, mode: str = "insert") -> EvalResult:
+        """Evaluate ``path``; ``mode`` selects whose occurrences the
+        side-effect check protects ('insert': the selected nodes;
+        'delete': the modified parents from ``Ep``)."""
+        if self.store.root_id is None:
+            raise ValueError("store has no root")
+        filter_values = self._bottom_up(path)
+        result = self._top_down(path, filter_values)
+        self._detect_side_effects(path, result, filter_values, mode)
+        return result
+
+    # ------------------------------------------------------------------
+    # Bottom-up pass: filters
+    # ------------------------------------------------------------------
+
+    def _bottom_up(self, path: XPath) -> "_FilterValues":
+        """Evaluate every filter sub-expression at every node.
+
+        The expression set is compiled once into integer-indexed plans
+        (hashing an ``XPath`` per memo access would dominate the pass),
+        then a single sweep over ``L`` (children before parents) fills
+        per-expression truth tables.
+        """
+        program = _compile(path)
+        values = _FilterValues(program)
+        if not program.units:
+            return values
+        store = self.store
+        children_of = store.children_of
+        type_of = store.type_of
+        value_of = store.value_of
+        ex_tables = values.ex_tables
+        dsc_tables = values.dsc_tables
+        f_tables = values.f_tables
+        for node in self.topo:  # descendants (children) first
+            children = children_of(node)
+            for kind, index in program.units:
+                if kind == "path":
+                    ops, value = program.path_plans[index]
+                    ex_rows = ex_tables[index]
+                    dsc_rows = dsc_tables[index]
+                    for i in range(len(ops), -1, -1):
+                        if i == len(ops):
+                            ex = True if value is None else (
+                                value_of(node) == value
+                            )
+                        else:
+                            op = ops[i]
+                            code = op[0]
+                            if code == 0:  # label step
+                                nxt = ex_rows[i + 1]
+                                label = op[1]
+                                ex = any(
+                                    type_of(c) == label and nxt[c]
+                                    for c in children
+                                )
+                            elif code == 1:  # wildcard
+                                nxt = ex_rows[i + 1]
+                                ex = any(nxt[c] for c in children)
+                            elif code == 2:  # filter step
+                                ex = (
+                                    f_tables[op[1]][node]
+                                    and ex_rows[i + 1][node]
+                                )
+                            else:  # code == 3: descendant-or-self
+                                ex = dsc_rows[i + 1][node]
+                        ex_rows[i][node] = ex
+                        row = dsc_rows[i]
+                        row[node] = ex or any(row[c] for c in children)
+                else:
+                    op = program.filter_plans[index]
+                    code = op[0]
+                    if code == 0:  # label test
+                        result = type_of(node) == op[1]
+                    elif code == 1:  # exists/value path
+                        result = ex_tables[op[1]][0][node]
+                    elif code == 2:  # and
+                        result = all(f_tables[k][node] for k in op[1])
+                    elif code == 3:  # or
+                        result = any(f_tables[k][node] for k in op[1])
+                    else:  # code == 4: not
+                        result = not f_tables[op[1]][node]
+                    f_tables[index][node] = result
+        return values
+
+    # ------------------------------------------------------------------
+    # Top-down pass: contexts, targets, Ep
+    # ------------------------------------------------------------------
+
+    def _top_down(self, path: XPath, memo: "_FilterValues") -> EvalResult:
+        store = self.store
+        result = EvalResult(path)
+        root = store.root_id
+        assert root is not None
+        current: list[int] = [root]
+        result.contexts.append(list(current))
+        # Arrival structure per step: for child steps a dict node -> set
+        # of parents in the previous context; for // steps the region.
+        self._arrivals: list[dict[int, set[int]]] = [{root: set()}]
+        self._regions: dict[int, set[int]] = {}
+
+        for index, step in enumerate(path.steps, start=1):
+            previous = current
+            prev_set = set(previous)
+            arrivals: dict[int, set[int]] = {}
+            if isinstance(step, (LabelStep, WildcardStep)):
+                nxt: list[int] = []
+                for u in previous:
+                    for c in store.children_of(u):
+                        if isinstance(step, LabelStep) and store.type_of(
+                            c
+                        ) != step.label:
+                            continue
+                        bucket = arrivals.get(c)
+                        if bucket is None:
+                            arrivals[c] = {u}
+                            nxt.append(c)
+                        else:
+                            bucket.add(u)
+                current = nxt
+            elif isinstance(step, FilterStep):
+                kept = [u for u in previous if memo.filter_holds(step.filter, u)]
+                prev_arrivals = self._arrivals[index - 1]
+                arrivals = {u: set(prev_arrivals.get(u, set())) for u in kept}
+                current = kept
+                # Mark pass-through so side-effect walk can skip the level.
+                self._regions.pop(index, None)
+            elif isinstance(step, DescendantStep):
+                region: set[int] = set(prev_set)
+                for u in previous:
+                    region |= self.reach.desc(u)
+                self._regions[index] = region
+                ordered = self.topo.sort_nodes(region)
+                ordered.reverse()  # ancestors first: document-like order
+                for d in ordered:
+                    parents_in = {
+                        par for par in store.parents_of(d) if par in region
+                    }
+                    arrivals[d] = parents_in
+                current = ordered
+            else:  # pragma: no cover - exhaustive
+                raise TypeError(f"unknown step {step!r}")
+            self._arrivals.append(arrivals)
+            result.contexts.append(list(current))
+            if not current:
+                break
+
+        result.targets = list(current) if result.contexts[-1] else []
+        result.ep = self._compute_ep(path, result)
+        return result
+
+    def _compute_ep(self, path: XPath, result: EvalResult) -> list[
+        tuple[int, int, int]
+    ]:
+        """``Ep(r)``: parent edges through which ``p`` reaches the targets.
+
+        The relevant step is the last non-filter step ``k``:
+        - child step: the recorded arrival edges, parents at level k-1;
+        - ``//`` step: every in-region parent (level k, still inside the
+          descendant segment) plus, for self-matches, the arrivals of the
+          previous level;
+        - no such step (pure filter path): the targets have no parent
+          edge (root selection), ``Ep = ∅``.
+        Filters after ``k`` only narrow the target set.
+        """
+        if not result.targets:
+            return []
+        k = path.last_child_step_index
+        if k is None:
+            return []
+        step = path.steps[k]
+        level = k + 1  # contexts/arrivals are 1-based w.r.t. steps
+        ep: list[tuple[int, int, int]] = []
+        if isinstance(step, (LabelStep, WildcardStep)):
+            arrivals = self._arrivals[level]
+            for v in result.targets:
+                for u in sorted(arrivals.get(v, ())):
+                    ep.append((u, v, level - 1))
+            return ep
+        if isinstance(step, DescendantStep):
+            region = self._regions[level]
+            prev_arrivals = self._arrivals[level - 1]
+            prev_context = set(result.contexts[level - 1])
+            for v in result.targets:
+                for u in sorted(
+                    par for par in self.store.parents_of(v) if par in region
+                ):
+                    ep.append((u, v, level))
+                if v in prev_context:
+                    for u in sorted(prev_arrivals.get(v, ())):
+                        ep.append((u, v, level - 1))
+            return ep
+        raise TypeError(f"unexpected step {step!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Side-effect detection
+    # ------------------------------------------------------------------
+
+    def _detect_side_effects(
+        self, path: XPath, result: EvalResult, memo: dict, mode: str
+    ) -> None:
+        """Populate ``result.side_effects`` (the set ``S``).
+
+        Walk backwards from the affected nodes through the matched
+        arrival structure; every incoming DAG edge that leaves the
+        matched structure witnesses an occurrence the path did not
+        select, and its source node joins ``S``.
+        """
+        if not result.targets:
+            return
+        starts: list[tuple[int, int]] = []
+        if mode == "insert":
+            last_level = len(result.contexts) - 1
+            starts = [(v, last_level) for v in result.targets]
+        elif mode == "delete":
+            starts = [(u, lvl) for u, _, lvl in result.ep]
+            if not starts:
+                return
+        else:
+            raise ValueError(f"unknown side-effect mode {mode!r}")
+
+        store = self.store
+        seen: set[tuple[int, int]] = set()
+        stack = list(dict.fromkeys(starts))
+        S = result.side_effects
+        while stack:
+            node, level = stack.pop()
+            if (node, level) in seen:
+                continue
+            seen.add((node, level))
+            if level <= 0:
+                continue  # root level: no incoming edges to classify
+            step = path.steps[level - 1]
+            if isinstance(step, FilterStep):
+                # Pass-through level: same node one level down.
+                stack.append((node, level - 1))
+                continue
+            if isinstance(step, (LabelStep, WildcardStep)):
+                matched_parents = self._arrivals[level].get(node, set())
+                for parent in store.parents_of(node):
+                    if parent in matched_parents:
+                        stack.append((parent, level - 1))
+                    else:
+                        S.add(parent)
+                continue
+            if isinstance(step, DescendantStep):
+                region = self._regions[level]
+                prev_context = set(result.contexts[level - 1])
+                in_prev = node in prev_context
+                for parent in store.parents_of(node):
+                    if parent in region:
+                        stack.append((parent, level))
+                    elif not in_prev:
+                        S.add(parent)
+                if in_prev:
+                    stack.append((node, level - 1))
+                continue
+            raise TypeError(f"unknown step {step!r}")  # pragma: no cover
+
+
+class _Program:
+    """Compiled filter expressions of one query (integer-indexed plans).
+
+    - ``path_plans[j] = (ops, value)``: a filter path with an optional
+      terminal value test; each op is ``(0, label)`` / ``(1,)`` wildcard /
+      ``(2, filter_index)`` / ``(3,)`` descendant-or-self.
+    - ``filter_plans[k]``: ``(0, label)`` label test, ``(1, path_index)``
+      path existence (incl. value tests), ``(2, (k...))`` and,
+      ``(3, (k...))`` or, ``(4, k)`` not.
+    - ``units``: the evaluation order — inner expressions first, so the
+      per-node sweep can run plans in list order.
+    """
+
+    def __init__(self) -> None:
+        self.units: list[tuple[str, int]] = []
+        self.path_plans: list[tuple[list[tuple], str | None]] = []
+        self.filter_plans: list[tuple] = []
+        self.path_index: dict[_PathKey, int] = {}
+        self.filter_index: dict[Filter, int] = {}
+
+
+class _FilterValues:
+    """Per-node truth tables for every compiled expression."""
+
+    def __init__(self, program: _Program):
+        self.program = program
+        self.ex_tables = [
+            [dict() for _ in range(len(ops) + 1)]
+            for ops, _ in program.path_plans
+        ]
+        self.dsc_tables = [
+            [dict() for _ in range(len(ops) + 1)]
+            for ops, _ in program.path_plans
+        ]
+        self.f_tables = [dict() for _ in program.filter_plans]
+
+    def filter_holds(self, filt: Filter, node: int) -> bool:
+        index = self.program.filter_index.get(filt)
+        if index is None:  # pragma: no cover - compiler registers all
+            return False
+        return self.f_tables[index].get(node, False)
+
+
+def _compile(path: XPath) -> _Program:
+    program = _Program()
+    for step in path.steps:
+        if isinstance(step, FilterStep):
+            _compile_filter(step.filter, program)
+    return program
+
+
+def _compile_path(path: XPath, value: str | None, program: _Program) -> int:
+    key: _PathKey = (path, value)
+    existing = program.path_index.get(key)
+    if existing is not None:
+        return existing
+    ops: list[tuple] = []
+    for step in path.steps:
+        if isinstance(step, LabelStep):
+            ops.append((0, step.label))
+        elif isinstance(step, WildcardStep):
+            ops.append((1,))
+        elif isinstance(step, FilterStep):
+            ops.append((2, _compile_filter(step.filter, program)))
+        elif isinstance(step, DescendantStep):
+            ops.append((3,))
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown step {step!r}")
+    index = len(program.path_plans)
+    program.path_plans.append((ops, value))
+    program.path_index[key] = index
+    program.units.append(("path", index))
+    return index
+
+
+def _compile_filter(filt: Filter, program: _Program) -> int:
+    existing = program.filter_index.get(filt)
+    if existing is not None:
+        return existing
+    if isinstance(filt, LabelTest):
+        plan: tuple = (0, filt.label)
+    elif isinstance(filt, ExistsPath):
+        plan = (1, _compile_path(filt.path, None, program))
+    elif isinstance(filt, ValueEq):
+        plan = (1, _compile_path(filt.path, filt.value, program))
+    elif isinstance(filt, FAnd):
+        plan = (2, tuple(_compile_filter(p, program) for p in filt.parts))
+    elif isinstance(filt, FOr):
+        plan = (3, tuple(_compile_filter(p, program) for p in filt.parts))
+    elif isinstance(filt, FNot):
+        plan = (4, _compile_filter(filt.part, program))
+    else:  # pragma: no cover - exhaustive
+        raise TypeError(f"unknown filter {filt!r}")
+    index = len(program.filter_plans)
+    program.filter_plans.append(plan)
+    program.filter_index[filt] = index
+    program.units.append(("filter", index))
+    return index

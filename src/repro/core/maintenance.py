@@ -1,0 +1,184 @@
+"""Incremental maintenance of ``M`` and ``L`` (paper, Figs. 7 and 8).
+
+Both algorithms run "in the background" in the paper's framework: they do
+not gate the user-visible update, but the structures must be consistent
+before the next update is processed.  The updater invokes them right
+after applying ``ΔV`` and times them separately (the benchmarks report
+this phase on its own, as the paper's plots do).
+
+**Δ(M,L)insert** (after ``insert (A, t) into p``):
+
+1. reachability *inside* the inserted subtree DAG via a localized
+   Algorithm Reach (new pairs only — shared regions already have theirs);
+2. cross pairs: every node of ``anc*(r[[p]])`` becomes an ancestor of
+   every node of ``ST(A, t)``;
+3. ``L``: new nodes are placed just after their highest-positioned
+   children (children-first processing makes this safe), then the new
+   connecting edges ``(u, r_A)`` are repaired with ``swap`` exactly as in
+   the paper (lines 12–13).
+
+**Δ(M,L)delete** (after ``delete p``, with ``ΔV`` already applied):
+
+walks ``LR = desc-or-self(r[[p]])`` ancestors-first, recomputing each
+node's ancestor set from its surviving parents; nodes left with no
+parents are condemned (``keep := false``), their outgoing edges become
+the garbage-collection feed ``Δ'V``, and they are dropped from ``L``,
+``M`` and the gen tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atg.publisher import SubtreeResult
+from repro.core.dag_eval import EvalResult
+from repro.core.reachability import ReachabilityMatrix
+from repro.core.topo import TopoOrder
+from repro.views.store import ViewDelta, ViewStore
+
+
+@dataclass
+class InsertMaintenance:
+    """Report of a Δ(M,L)insert run."""
+
+    added_pairs: int = 0
+    moved_nodes: int = 0
+    placed_nodes: int = 0
+
+
+@dataclass
+class DeleteMaintenance:
+    """Report of a Δ(M,L)delete run."""
+
+    removed_pairs: int = 0
+    gc_delta: ViewDelta = field(default_factory=ViewDelta)
+    removed_nodes: list[int] = field(default_factory=list)
+
+
+def maintain_insert(
+    store: ViewStore,
+    topo: TopoOrder,
+    reach: ReachabilityMatrix,
+    subtree: SubtreeResult,
+    targets: list[int],
+) -> InsertMaintenance:
+    """Algorithm Δ(M,L)insert.  Call *after* ``store.apply(ΔV)``."""
+    report = InsertMaintenance()
+    st_nodes = subtree.all_nodes
+
+    # -- L: place the new nodes -------------------------------------------------
+    # The subtree may be a DAG with diamonds, so creation order is not
+    # reliably children-first; compute a children-first order over the
+    # new nodes (Kahn on the new-node subgraph) and place each node
+    # immediately after its highest-positioned child.
+    new_set = set(subtree.new_nodes)
+    pending = {
+        node: sum(1 for c in store.children_of(node) if c in new_set)
+        for node in subtree.new_nodes
+    }
+    ready = sorted(
+        (node for node, count in pending.items() if count == 0), reverse=True
+    )
+    placed_order: list[int] = []
+    while ready:
+        node = ready.pop()
+        placed_order.append(node)
+        for parent in sorted(store.parents_of(node)):
+            if parent in new_set:
+                pending[parent] -= 1
+                if pending[parent] == 0:
+                    ready.append(parent)
+    if len(placed_order) != len(new_set):  # pragma: no cover - defensive
+        raise RuntimeError("cycle among newly inserted view nodes")
+    for node in placed_order:
+        placed = [c for c in store.children_of(node) if c in topo]
+        if placed:
+            pos = max(topo.position(c) for c in placed)
+            topo.insert_at(node, pos + 1)
+        else:
+            topo.insert_front(node)
+        report.placed_nodes += 1
+
+    # -- ΔM part 1: reachability inside ST(A, t) --------------------------------
+    # Localized Reach over the subtree DAG: ancestors-first order.
+    local_order = [n for n in topo.backward() if n in st_nodes]
+    for node in local_order:
+        ancestors: set[int] = set()
+        for parent in store.parents_of(node):
+            if parent in st_nodes:
+                ancestors.add(parent)
+                ancestors |= reach.anc(parent)
+        for anc in ancestors:
+            if reach.insert(anc, node):
+                report.added_pairs += 1
+
+    # -- ΔM part 2: anc*(r[[p]]) × ST nodes --------------------------------------
+    upper: set[int] = set(targets)
+    for target in targets:
+        upper |= reach.anc(target)
+    for anc in upper:
+        for node in st_nodes:
+            if reach.insert(anc, node):
+                report.added_pairs += 1
+
+    # -- L: repair for the connecting edges (u, r_A) ------------------------------
+    desc_root = reach.desc(subtree.root) | {subtree.root}
+    for target in targets:
+        if topo.position(target) < topo.position(subtree.root):
+            report.moved_nodes += topo.swap(target, subtree.root, desc_root)
+    return report
+
+
+def maintain_delete(
+    store: ViewStore,
+    topo: TopoOrder,
+    reach: ReachabilityMatrix,
+    result: "EvalResult | list[int]",
+) -> DeleteMaintenance:
+    """Algorithm Δ(M,L)delete.  Call *after* ``store.apply(ΔV)``.
+
+    ``result`` is either the evaluation result or a bare list of the
+    deleted child nodes (``r[[p]]``) — the algorithm only needs the
+    targets.  Returns the garbage-collection feed ``Δ'V`` (already
+    applied to the store) together with the removed reachability pairs
+    and nodes.
+    """
+    report = DeleteMaintenance()
+    targets = result if isinstance(result, list) else result.targets
+    affected: set[int] = set(targets)
+    for target in targets:
+        affected |= reach.desc(target)
+    lr = topo.sort_nodes(affected)  # descendants first
+    keep: dict[int, bool] = {}
+
+    for node in reversed(lr):  # ancestors first
+        surviving = {
+            parent
+            for parent in store.parents_of(node)
+            if keep.get(parent, True)
+        }
+        new_ancestors: set[int] = set()
+        for parent in surviving:
+            new_ancestors.add(parent)
+            new_ancestors |= reach.anc(parent)
+        removed = reach.anc(node) - new_ancestors
+        for anc in removed:
+            reach.remove(anc, node)
+            report.removed_pairs += 1
+        if not surviving and node != store.root_id:
+            keep[node] = False
+            for child in list(store.children_of(node)):
+                report.gc_delta.delete(
+                    store.type_of(node), store.type_of(child), node, child
+                )
+
+    # Apply Δ'V and drop the condemned nodes from every structure.
+    store.apply(report.gc_delta)
+    for node in reversed(lr):
+        if keep.get(node, True):
+            continue
+        topo.remove(node)
+        reach.drop_node(node)
+        store.remove_node(node)
+        report.removed_nodes.append(node)
+    return report

@@ -1,0 +1,61 @@
+"""Algorithms Xinsert and Xdelete (paper, Figs. 5 and 6).
+
+A single XML update maps to a *group* update ``ΔV`` over the edge
+relations of the DAG coding:
+
+- **Xinsert** emits one edge insertion per internal edge of the newly
+  published subtree ``ST(A, t)`` (each stored once regardless of how many
+  times the subtree will occur) plus one connecting edge ``(u, r_A)`` per
+  selected node ``u ∈ r[[p]]``;
+- **Xdelete** emits one edge deletion per ``Ep(r)`` pair — the subtree
+  itself is *not* removed (it may be shared); disconnected remains are
+  garbage-collected later by the maintenance pass.
+
+The revised side-effect semantics of Section 2 comes for free: nodes are
+interned by ``(type, $A)``, so "every element with the same type and
+semantic attribute" is literally the same node, and the set semantics of
+the edge relations stores a shared subtree exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.atg.publisher import SubtreeResult
+from repro.core.dag_eval import EvalResult
+from repro.views.store import ViewDelta, ViewStore
+
+
+def xinsert(
+    store: ViewStore, targets: list[int], subtree: SubtreeResult
+) -> ViewDelta:
+    """Algorithm Xinsert: ``ΔV`` for ``insert (A, t) into p``.
+
+    ``targets`` is ``r[[p]]``; ``subtree`` is the published ``ST(A, t)``
+    (its internal edges are new; edges below already-interned nodes are
+    shared and already stored).
+    """
+    delta = ViewDelta()
+    for parent_type, parent, child_type, child in subtree.edges:
+        delta.insert(parent_type, child_type, parent, child)
+    root_type = store.type_of(subtree.root)
+    for target in targets:
+        if store.has_edge(target, subtree.root):
+            continue  # set semantics: the edge already exists
+        delta.insert(store.type_of(target), root_type, target, subtree.root)
+    return delta
+
+
+def xdelete(store: ViewStore, result: EvalResult) -> ViewDelta:
+    """Algorithm Xdelete: ``ΔV`` for ``delete p``.
+
+    One edge deletion per distinct ``Ep(r)`` pair.
+    """
+    delta = ViewDelta()
+    seen: set[tuple[int, int]] = set()
+    for parent, child, _ in result.ep:
+        if (parent, child) in seen:
+            continue
+        seen.add((parent, child))
+        delta.delete(
+            store.type_of(parent), store.type_of(child), parent, child
+        )
+    return delta

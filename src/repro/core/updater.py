@@ -1,0 +1,411 @@
+"""The end-to-end XML view update framework (paper, Fig. 3).
+
+:class:`XMLViewUpdater` owns the published state for one ATG and
+database: the DAG store ``V``, the topological order ``L``, the
+reachability matrix ``M`` and the edge-view registry.  An update runs
+through the paper's phases, each timed individually (the evaluation
+section reports them separately):
+
+1. **validate** — static DTD validation (Section 2.4);
+2. **xpath** — two-pass evaluation on the DAG: ``r[[p]]``, ``Ep(r)``,
+   side effects (Section 3.2);
+3. **translate_v** — ``ΔX → ΔV`` via Xinsert/Xdelete (Section 3.3);
+4. **translate_r** — ``ΔV → ΔR`` via Algorithm delete / Algorithm insert
+   (Section 4);
+5. **apply** — ``ΔR`` on the base database, ``ΔV`` on the store;
+6. **maintain** — Δ(M,L)insert / Δ(M,L)delete plus gen-table GC
+   (Section 3.4; "background" work, reported separately).
+
+Side effects are governed by :class:`SideEffectPolicy`: ``ABORT``
+rejects the update (the user said no), ``PROPAGATE`` carries on under
+the paper's revised semantics (the update applies at every occurrence).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.atg.model import ATG
+from repro.atg.publisher import publish_store, publish_subtree, unfold_to_tree
+from repro.core.dag_eval import DagXPathEvaluator, EvalResult
+from repro.core.maintenance import (
+    DeleteMaintenance,
+    InsertMaintenance,
+    maintain_delete,
+    maintain_insert,
+)
+from repro.core.reachability import ReachabilityMatrix, compute_reach
+from repro.core.topo import TopoOrder
+from repro.core.translate import xdelete, xinsert
+from repro.dtd.validate import StaticValidator
+from repro.errors import (
+    ReproError,
+    SideEffectError,
+    UpdateRejectedError,
+    ValidationError,
+)
+from repro.relational.database import Database, RelationalDelta
+from repro.relview.delete import expand_view_deletions, translate_deletions
+from repro.relview.insert import translate_insertions
+from repro.views.registry import EdgeViewRegistry, build_registry
+from repro.views.store import ViewDelta, ViewStore
+from repro.xmltree.tree import XMLNode
+from repro.xpath.ast import XPath
+from repro.xpath.parser import parse_xpath
+
+
+class SideEffectPolicy(enum.Enum):
+    """What to do when an update has XML side effects (Section 2.1)."""
+
+    ABORT = "abort"
+    PROPAGATE = "propagate"
+
+
+@dataclass
+class UpdateOutcome:
+    """Everything a caller (or benchmark) wants to know about one update."""
+
+    kind: str
+    accepted: bool
+    reason: str | None = None
+    side_effects: set[int] = field(default_factory=set)
+    targets: list[int] = field(default_factory=list)
+    delta_v: ViewDelta | None = None
+    delta_r: RelationalDelta | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    @property
+    def foreground_time(self) -> float:
+        """Everything except the background maintenance phase."""
+        return sum(t for k, t in self.timings.items() if k != "maintain")
+
+
+class _Timer:
+    def __init__(self, outcome: UpdateOutcome, phase: str):
+        self.outcome = outcome
+        self.phase = phase
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = time.perf_counter() - self._start
+        self.outcome.timings[self.phase] = (
+            self.outcome.timings.get(self.phase, 0.0) + elapsed
+        )
+        return False
+
+
+class XMLViewUpdater:
+    """Process XML view updates against a relational database.
+
+    Parameters
+    ----------
+    atg:
+        The view definition ``σ``.
+    db:
+        The base database ``I`` (updated in place by accepted updates).
+    side_effect_policy:
+        ``ABORT`` (default) raises/reports on side effects; ``PROPAGATE``
+        carries on under the revised semantics.
+    sat_solver:
+        ``'walksat'`` | ``'dpll'`` | ``'auto'`` for insertion translation.
+    strict:
+        When True, rejections raise; when False they return an
+        unaccepted :class:`UpdateOutcome` (benchmarks use False).
+    """
+
+    def __init__(
+        self,
+        atg: ATG,
+        db: Database,
+        side_effect_policy: SideEffectPolicy = SideEffectPolicy.ABORT,
+        sat_solver: str = "auto",
+        strict: bool = True,
+        verify_each_update: bool = False,
+        rng: random.Random | None = None,
+    ):
+        self.atg = atg
+        self.db = db
+        self.policy = side_effect_policy
+        self.sat_solver = sat_solver
+        self.strict = strict
+        self.verify_each_update = verify_each_update
+        self.rng = rng or random.Random(20070415)
+        self.validator = StaticValidator(atg.dtd)
+        self.store: ViewStore = publish_store(atg, db)
+        self.topo: TopoOrder = TopoOrder.from_store(self.store)
+        self.reach: ReachabilityMatrix = compute_reach(self.store, self.topo)
+        self.registry: EdgeViewRegistry = build_registry(atg, db)
+        self.last_maintenance: InsertMaintenance | DeleteMaintenance | None = None
+
+    # -- public API -----------------------------------------------------------
+
+    def xml_tree(self) -> XMLNode:
+        """The current XML view as an (uncompressed) tree."""
+        return unfold_to_tree(self.store)
+
+    def evaluate_xpath(self, path: str | XPath) -> EvalResult:
+        """Evaluate an XPath on the current view (no update)."""
+        parsed = parse_xpath(path) if isinstance(path, str) else path
+        evaluator = DagXPathEvaluator(self.store, self.topo, self.reach)
+        return evaluator.evaluate(parsed)
+
+    def insert(
+        self, path: str | XPath, element: str, sem: tuple
+    ) -> UpdateOutcome:
+        """``insert (element, sem) into path`` (paper Section 2.1)."""
+        outcome = UpdateOutcome(kind="insert", accepted=False)
+        parsed = parse_xpath(path) if isinstance(path, str) else path
+        try:
+            with _Timer(outcome, "validate"):
+                self.validator.validate_insert(parsed, element)
+            with _Timer(outcome, "xpath"):
+                evaluator = DagXPathEvaluator(self.store, self.topo, self.reach)
+                result = evaluator.evaluate(parsed, mode="insert")
+            outcome.targets = list(result.targets)
+            outcome.side_effects = set(result.side_effects)
+            if not result.targets:
+                raise UpdateRejectedError(f"path {parsed} selects no node")
+            self._check_side_effects(result)
+            with _Timer(outcome, "translate_v"):
+                subtree = publish_subtree(
+                    self.atg, self.db, self.store, element, sem
+                )
+                cyclic = [t for t in result.targets if t in subtree.all_nodes]
+                if cyclic:
+                    subtree.rollback(self.store)
+                    raise UpdateRejectedError(
+                        f"inserting {element} {sem!r} under node(s) "
+                        f"{cyclic} creates a cycle: the target lies inside "
+                        "the inserted subtree, so the XML view would be "
+                        "infinite"
+                    )
+                delta_v = xinsert(self.store, result.targets, subtree)
+            outcome.delta_v = delta_v
+            try:
+                with _Timer(outcome, "translate_r"):
+                    plan = translate_insertions(
+                        self.registry,
+                        self.store,
+                        self.db,
+                        delta_v,
+                        solver=self.sat_solver,
+                        rng=self.rng,
+                    )
+            except Exception:
+                subtree.rollback(self.store)
+                raise
+            outcome.delta_r = plan.delta_r
+            outcome.stats.update(
+                sat_vars=plan.num_vars,
+                sat_clauses=plan.num_clauses,
+                subtree_nodes=subtree.node_count,
+                subtree_edges=subtree.edge_count,
+                targets=len(result.targets),
+            )
+            with _Timer(outcome, "apply"):
+                self.db.apply(plan.delta_r)
+                self.store.apply(delta_v)
+            with _Timer(outcome, "maintain"):
+                self.last_maintenance = maintain_insert(
+                    self.store, self.topo, self.reach, subtree, result.targets
+                )
+            outcome.accepted = True
+            self._post_verify()
+            return outcome
+        except (ValidationError, UpdateRejectedError, SideEffectError) as exc:
+            outcome.reason = str(exc)
+            if self.strict:
+                raise
+            return outcome
+
+    def delete(self, path: str | XPath) -> UpdateOutcome:
+        """``delete path`` (paper Section 2.1)."""
+        outcome = UpdateOutcome(kind="delete", accepted=False)
+        parsed = parse_xpath(path) if isinstance(path, str) else path
+        try:
+            with _Timer(outcome, "validate"):
+                self.validator.validate_delete(parsed)
+            with _Timer(outcome, "xpath"):
+                evaluator = DagXPathEvaluator(self.store, self.topo, self.reach)
+                result = evaluator.evaluate(parsed, mode="delete")
+            outcome.targets = list(result.targets)
+            outcome.side_effects = set(result.side_effects)
+            if not result.targets:
+                raise UpdateRejectedError(f"path {parsed} selects no node")
+            self._check_side_effects(result)
+            with _Timer(outcome, "translate_v"):
+                delta_v = xdelete(self.store, result)
+            outcome.delta_v = delta_v
+            with _Timer(outcome, "translate_r"):
+                rows = expand_view_deletions(
+                    self.registry, self.store, self.db, delta_v
+                )
+                plan = translate_deletions(self.registry, self.db, rows)
+            outcome.delta_r = plan.delta_r
+            outcome.stats.update(
+                ep_edges=len(result.ep),
+                view_rows=len(plan.view_rows),
+                targets=len(result.targets),
+            )
+            with _Timer(outcome, "apply"):
+                self.db.apply(plan.delta_r)
+                self.store.apply(delta_v)
+            with _Timer(outcome, "maintain"):
+                self.last_maintenance = maintain_delete(
+                    self.store, self.topo, self.reach, result
+                )
+            outcome.accepted = True
+            self._post_verify()
+            return outcome
+        except (ValidationError, UpdateRejectedError, SideEffectError) as exc:
+            outcome.reason = str(exc)
+            if self.strict:
+                raise
+            return outcome
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_side_effects(self, result: EvalResult) -> None:
+        if result.has_side_effects and self.policy is SideEffectPolicy.ABORT:
+            raise SideEffectError(
+                f"update on {result.path} has XML side effects at nodes "
+                f"{sorted(result.side_effects)[:10]}"
+                f"{'...' if len(result.side_effects) > 10 else ''}; "
+                "policy is ABORT",
+                affected=frozenset(result.side_effects),
+            )
+
+    def undo(self, outcome: UpdateOutcome):
+        """Undo an accepted update by propagating the inverted ``ΔR``.
+
+        Because the view is a function of the base data, inverting the
+        base update and re-synchronizing (the incremental propagation of
+        :meth:`apply_base_update`) restores the view exactly — including
+        resurrecting garbage-collected shared subtrees.
+        """
+        if not outcome.accepted:
+            raise UpdateRejectedError("cannot undo a rejected update")
+        if outcome.delta_r is None:
+            raise UpdateRejectedError("outcome carries no ΔR to invert")
+        return self.apply_base_update(outcome.delta_r.inverted())
+
+    def apply_base_update(self, delta_r: RelationalDelta):
+        """Apply a *base-table* update and synchronize the view.
+
+        The reverse direction of the paper's pipeline (its reference [8]):
+        the caller updates relations directly; the DAG store, ``M`` and
+        ``L`` are maintained incrementally.  Returns a
+        :class:`~repro.atg.incremental.PropagationReport`.
+        """
+        from repro.atg.incremental import propagate_base_update
+
+        report = propagate_base_update(
+            self.atg,
+            self.registry,
+            self.db,
+            self.store,
+            self.topo,
+            self.reach,
+            delta_r,
+        )
+        self._post_verify()
+        return report
+
+    def _post_verify(self) -> None:
+        """Optional paranoia: verify state against a republish (tests).
+
+        Enabled by ``verify_each_update``; O(|V|) per update, so off by
+        default and never used in benchmarks.
+        """
+        if not self.verify_each_update:
+            return
+        problems = self.check_consistency()
+        if problems:
+            raise ReproError(
+                "post-update verification failed: " + "; ".join(problems)
+            )
+
+    def rebuild(self) -> None:
+        """Recompute the store, ``L`` and ``M`` from scratch (baseline)."""
+        self.store = publish_store(self.atg, self.db)
+        self.rebuild_structures_only()
+
+    def rebuild_structures_only(self) -> None:
+        """Recompute ``L`` and ``M`` for the *current* store.
+
+        Used after swapping in a store loaded from persistence
+        (:func:`repro.views.loader.store_from_database`).
+        """
+        self.topo = TopoOrder.from_store(self.store)
+        self.reach = compute_reach(self.store, self.topo)
+
+    def check_consistency(self) -> list[str]:
+        """Verify the incremental state against a fresh republish.
+
+        Returns a list of discrepancy descriptions (empty = consistent).
+        Intended for tests; O(|V|)-ish, do not call per update in
+        benchmarks.
+        """
+        problems: list[str] = []
+        fresh = publish_store(self.atg, self.db)
+        mine = {
+            (self.store.type_of(n), self.store.sem_of(n))
+            for n in self.store.reachable_from_root()
+        }
+        theirs = {
+            (fresh.type_of(n), fresh.sem_of(n))
+            for n in fresh.reachable_from_root()
+        }
+        if mine != theirs:
+            missing = sorted(theirs - mine)[:5]
+            extra = sorted(mine - theirs)[:5]
+            problems.append(
+                f"node sets differ: missing={missing} extra={extra}"
+            )
+        mine_reachable = self.store.reachable_from_root()
+        mine_edges = {
+            (
+                self.store.type_of(u),
+                self.store.sem_of(u),
+                self.store.type_of(v),
+                self.store.sem_of(v),
+            )
+            for key, pairs in self.store.edges.items()
+            for (u, v) in pairs
+            if u in mine_reachable
+        }
+        fresh_reachable = fresh.reachable_from_root()
+        fresh_edges = {
+            (
+                fresh.type_of(u),
+                fresh.sem_of(u),
+                fresh.type_of(v),
+                fresh.sem_of(v),
+            )
+            for key, pairs in fresh.edges.items()
+            for (u, v) in pairs
+            if u in fresh_reachable
+        }
+        if mine_edges != fresh_edges:
+            problems.append(
+                f"edge sets differ: missing={sorted(fresh_edges - mine_edges)[:5]} "
+                f"extra={sorted(mine_edges - fresh_edges)[:5]}"
+            )
+        fresh_topo = TopoOrder.from_store(self.store)
+        fresh_reach = compute_reach(self.store, fresh_topo)
+        if not self.reach.equals(fresh_reach):
+            problems.append("reachability matrix differs from recomputation")
+        if not self.topo.is_valid_for(self.reach.is_ancestor):
+            problems.append("topological order invalid")
+        return problems

@@ -1,0 +1,37 @@
+"""DTDs in the paper's normal form, plus parsing, normalization, validation.
+
+A DTD is a triple ``(E, P, r)`` — element types, productions, root —
+where every production has one of the restricted forms (Section 2.2)::
+
+    α ::= PCDATA | ε | B1, ..., Bn | B1 + ... + Bn | B*
+
+Arbitrary content models are normalized into this form by introducing
+synthetic element types (the paper's footnote ①).
+"""
+
+from repro.dtd.model import (
+    DTD,
+    Alternation,
+    ContentModel,
+    Empty,
+    PCData,
+    Production,
+    Sequence,
+    Star,
+)
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validate import StaticValidator, validate_update
+
+__all__ = [
+    "DTD",
+    "Production",
+    "ContentModel",
+    "PCData",
+    "Empty",
+    "Sequence",
+    "Alternation",
+    "Star",
+    "parse_dtd",
+    "validate_update",
+    "StaticValidator",
+]

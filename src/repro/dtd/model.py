@@ -1,0 +1,196 @@
+"""DTD data model: element types, restricted productions, recursion analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import DTDError
+
+
+class ContentModel:
+    """Base class of the restricted content models."""
+
+    def child_types(self) -> tuple[str, ...]:
+        """Element types that may appear as children, in declaration order."""
+        return ()
+
+
+@dataclass(frozen=True)
+class PCData(ContentModel):
+    """``A → PCDATA``: a text leaf."""
+
+    def __str__(self) -> str:
+        return "#PCDATA"
+
+
+@dataclass(frozen=True)
+class Empty(ContentModel):
+    """``A → ε``: an empty element."""
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class Sequence(ContentModel):
+    """``A → B1, ..., Bn``: exactly one child of each type, in order."""
+
+    types: tuple[str, ...]
+
+    def child_types(self) -> tuple[str, ...]:
+        return self.types
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self.types) + ")"
+
+
+@dataclass(frozen=True)
+class Alternation(ContentModel):
+    """``A → B1 + ... + Bn``: exactly one child, of one of the types."""
+
+    types: tuple[str, ...]
+
+    def child_types(self) -> tuple[str, ...]:
+        return self.types
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(self.types) + ")"
+
+
+@dataclass(frozen=True)
+class Star(ContentModel):
+    """``A → B*``: zero or more children of one type.
+
+    The only production form under which XML view inserts/deletes of a
+    ``B`` child are DTD-valid (Section 2.4).
+    """
+
+    type: str
+
+    def child_types(self) -> tuple[str, ...]:
+        return (self.type,)
+
+    def __str__(self) -> str:
+        return f"({self.type}*)"
+
+
+@dataclass(frozen=True)
+class Production:
+    """One production ``element → content``."""
+
+    element: str
+    content: ContentModel
+
+    def __str__(self) -> str:
+        return f"<!ELEMENT {self.element} {self.content}>"
+
+
+class DTD:
+    """A DTD ``(E, P, r)`` in the paper's restricted normal form.
+
+    Every type referenced in some content model must have a production;
+    undeclared types can be defaulted to ``PCDATA`` via
+    :meth:`with_implicit_pcdata` (the paper omits PCDATA declarations).
+    """
+
+    def __init__(self, root: str, productions: Mapping[str, Production] | list[Production]):
+        if isinstance(productions, list):
+            productions = {p.element: p for p in productions}
+        self.root = root
+        self.productions: dict[str, Production] = dict(productions)
+        if root not in self.productions:
+            raise DTDError(f"root type {root!r} has no production")
+        self._check_references()
+
+    def _check_references(self) -> None:
+        for production in self.productions.values():
+            for child in production.content.child_types():
+                if child not in self.productions:
+                    raise DTDError(
+                        f"type {child!r} referenced by {production.element!r} "
+                        "has no production (use with_implicit_pcdata to default)"
+                    )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def types(self) -> tuple[str, ...]:
+        return tuple(self.productions)
+
+    def production(self, element: str) -> Production:
+        try:
+            return self.productions[element]
+        except KeyError:
+            raise DTDError(f"no production for element type {element!r}") from None
+
+    def content(self, element: str) -> ContentModel:
+        return self.production(element).content
+
+    def child_types(self, element: str) -> tuple[str, ...]:
+        return self.content(element).child_types()
+
+    def is_star_child(self, parent: str, child: str) -> bool:
+        """Whether ``parent → child*`` is the production of ``parent``."""
+        content = self.content(parent)
+        return isinstance(content, Star) and content.type == child
+
+    def is_pcdata(self, element: str) -> bool:
+        return isinstance(self.content(element), PCData)
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """All (parent type, child type) pairs in the DTD graph."""
+        for production in self.productions.values():
+            for child in production.content.child_types():
+                yield production.element, child
+
+    # -- recursion analysis -------------------------------------------------------
+
+    def reachable_types(self, start: str | None = None) -> set[str]:
+        """Types reachable from ``start`` (default: root) in the DTD graph."""
+        start = start if start is not None else self.root
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for child in self.child_types(node):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return seen
+
+    def recursive_types(self) -> set[str]:
+        """Types defined (directly or indirectly) in terms of themselves."""
+        # A type is recursive iff it lies on a cycle of the DTD graph:
+        # iterative DFS-based detection of nodes reachable from themselves.
+        adjacency = {t: set(self.child_types(t)) for t in self.productions}
+        recursive: set[str] = set()
+        for start in self.productions:
+            stack = list(adjacency[start])
+            seen: set[str] = set()
+            while stack:
+                node = stack.pop()
+                if node == start:
+                    recursive.add(start)
+                    break
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(adjacency.get(node, ()))
+        return recursive
+
+    @property
+    def is_recursive(self) -> bool:
+        return bool(self.recursive_types())
+
+    def size(self) -> int:
+        """|D|: number of types plus DTD-graph edges."""
+        return len(self.productions) + sum(1 for _ in self.edges())
+
+    def parents_of(self, child: str) -> set[str]:
+        """All types whose production mentions ``child``."""
+        return {parent for parent, c in self.edges() if c == child}
+
+    def __str__(self) -> str:
+        ordered = [self.root] + [t for t in self.productions if t != self.root]
+        return "\n".join(str(self.productions[t]) for t in ordered)

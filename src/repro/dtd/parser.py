@@ -1,0 +1,228 @@
+"""DTD text parser with normalization to the paper's restricted form.
+
+Accepts standard ``<!ELEMENT name (content)>`` declarations where content
+is a regular expression over element names built from ``,`` (sequence),
+``|`` (alternation), ``*`` (Kleene star on a name or group), ``#PCDATA``
+and ``EMPTY``.  Content models outside the restricted normal form are
+normalized by introducing synthetic element types named ``_gN`` (the
+paper's footnote ①: normalization is linear and a post-publishing pass
+can erase the synthetic wrappers).
+
+Element types that are referenced but never declared are defaulted to
+``PCDATA`` — the paper's examples omit those declarations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import DTDError
+from repro.dtd.model import (
+    DTD,
+    Alternation,
+    ContentModel,
+    Empty,
+    PCData,
+    Production,
+    Sequence,
+    Star,
+)
+
+# -- general content-model AST (pre-normalization) ---------------------------
+
+
+@dataclass(frozen=True)
+class _Name:
+    name: str
+
+
+@dataclass(frozen=True)
+class _Seq:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class _Alt:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class _Star:
+    part: object
+
+
+@dataclass(frozen=True)
+class _PCData:
+    pass
+
+
+@dataclass(frozen=True)
+class _Empty:
+    pass
+
+
+_DECL_RE = re.compile(
+    r"<!ELEMENT\s+(?P<name>[A-Za-z_][\w\-]*)\s+(?P<content>[^>]+?)\s*>",
+    re.DOTALL,
+)
+
+_CONTENT_TOKEN_RE = re.compile(
+    r"(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)|(?P<pipe>\|)|(?P<star>\*)"
+    r"|(?P<pcdata>#PCDATA)|(?P<name>[A-Za-z_][\w\-]*)|(?P<ws>\s+)"
+)
+
+
+def parse_dtd(text: str, root: str | None = None) -> DTD:
+    """Parse DTD declarations; the first declared element is the root
+    unless ``root`` is given.  Undeclared referenced types default to
+    PCDATA; non-normal content models are normalized with synthetic types.
+    """
+    declarations: list[tuple[str, object]] = []
+    for match in _DECL_RE.finditer(text):
+        name = match.group("name")
+        content_text = match.group("content")
+        declarations.append((name, _parse_content(content_text, name)))
+    if not declarations:
+        raise DTDError("no <!ELEMENT ...> declarations found")
+    root_name = root if root is not None else declarations[0][0]
+
+    productions: dict[str, Production] = {}
+    counter = [0]
+    for name, ast in declarations:
+        if name in productions:
+            raise DTDError(f"duplicate declaration for element {name!r}")
+        _normalize_into(name, ast, productions, counter)
+
+    # Default undeclared references to PCDATA.
+    referenced: set[str] = set()
+    for production in productions.values():
+        referenced.update(production.content.child_types())
+    for name in sorted(referenced):
+        if name not in productions:
+            productions[name] = Production(name, PCData())
+
+    if root_name not in productions:
+        raise DTDError(f"root type {root_name!r} was never declared")
+    return DTD(root_name, productions)
+
+
+def _parse_content(text: str, element: str) -> object:
+    if text.strip() == "EMPTY":
+        return _Empty()
+    tokens = _tokenize(text, element)
+    ast, pos = _parse_expr(tokens, 0, element)
+    if pos != len(tokens):
+        raise DTDError(f"trailing tokens in content model of {element!r}: {text!r}")
+    return ast
+
+
+def _tokenize(text: str, element: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _CONTENT_TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DTDError(
+                f"bad character {text[pos]!r} in content model of {element!r}"
+            )
+        if match.lastgroup != "ws":
+            tokens.append((match.lastgroup, match.group()))
+        pos = match.end()
+    return tokens
+
+
+def _parse_expr(tokens: list, pos: int, element: str) -> tuple[object, int]:
+    """expr := atom (',' atom)* | atom ('|' atom)*  (no mixing)."""
+    first, pos = _parse_atom(tokens, pos, element)
+    if pos < len(tokens) and tokens[pos][0] == "comma":
+        parts = [first]
+        while pos < len(tokens) and tokens[pos][0] == "comma":
+            part, pos = _parse_atom(tokens, pos + 1, element)
+            parts.append(part)
+        return _Seq(tuple(parts)), pos
+    if pos < len(tokens) and tokens[pos][0] == "pipe":
+        parts = [first]
+        while pos < len(tokens) and tokens[pos][0] == "pipe":
+            part, pos = _parse_atom(tokens, pos + 1, element)
+            parts.append(part)
+        return _Alt(tuple(parts)), pos
+    return first, pos
+
+
+def _parse_atom(tokens: list, pos: int, element: str) -> tuple[object, int]:
+    if pos >= len(tokens):
+        raise DTDError(f"unexpected end of content model of {element!r}")
+    kind, value = tokens[pos]
+    if kind == "lparen":
+        inner, pos = _parse_expr(tokens, pos + 1, element)
+        if pos >= len(tokens) or tokens[pos][0] != "rparen":
+            raise DTDError(f"unbalanced parentheses in content model of {element!r}")
+        pos += 1
+        node: object = inner
+    elif kind == "pcdata":
+        node = _PCData()
+        pos += 1
+    elif kind == "name":
+        node = _Name(value)
+        pos += 1
+    else:
+        raise DTDError(
+            f"unexpected token {value!r} in content model of {element!r}"
+        )
+    if pos < len(tokens) and tokens[pos][0] == "star":
+        node = _Star(node)
+        pos += 1
+    return node, pos
+
+
+def _normalize_into(
+    name: str, ast: object, productions: dict[str, Production], counter: list[int]
+) -> None:
+    """Emit a restricted production for ``name``, adding synthetic types."""
+    productions[name] = Production(name, _to_restricted(ast, productions, counter))
+
+
+def _to_restricted(
+    ast: object, productions: dict[str, Production], counter: list[int]
+) -> ContentModel:
+    if isinstance(ast, _Empty):
+        return Empty()
+    if isinstance(ast, _PCData):
+        return PCData()
+    if isinstance(ast, _Name):
+        # A bare single name: a one-element sequence.
+        return Sequence((ast.name,))
+    if isinstance(ast, _Star):
+        inner = ast.part
+        if isinstance(inner, _Name):
+            return Star(inner.name)
+        synthetic = _fresh(productions, counter)
+        _normalize_into(synthetic, inner, productions, counter)
+        return Star(synthetic)
+    if isinstance(ast, _Seq):
+        names = [_name_of(part, productions, counter) for part in ast.parts]
+        return Sequence(tuple(names))
+    if isinstance(ast, _Alt):
+        names = [_name_of(part, productions, counter) for part in ast.parts]
+        return Alternation(tuple(names))
+    raise DTDError(f"cannot normalize content model node {ast!r}")
+
+
+def _name_of(
+    part: object, productions: dict[str, Production], counter: list[int]
+) -> str:
+    """Reduce a sub-expression to a single element-type name."""
+    if isinstance(part, _Name):
+        return part.name
+    synthetic = _fresh(productions, counter)
+    _normalize_into(synthetic, part, productions, counter)
+    return synthetic
+
+
+def _fresh(productions: dict[str, Production], counter: list[int]) -> str:
+    while True:
+        counter[0] += 1
+        name = f"_g{counter[0]}"
+        if name not in productions:
+            return name

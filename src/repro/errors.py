@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The hierarchy mirrors the paper's
+processing pipeline: schema/engine errors, parsing errors, validation
+rejections, side-effect aborts, and untranslatable updates.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relational schema was malformed or used inconsistently."""
+
+
+class KeyConstraintError(ReproError):
+    """A primary-key constraint was violated by an insertion."""
+
+
+class UnknownRelationError(ReproError):
+    """A query or update referenced a relation not present in the database."""
+
+
+class QueryError(ReproError):
+    """An SPJ query was malformed (unknown alias/attribute, bad predicate)."""
+
+
+class DTDError(ReproError):
+    """A DTD was malformed or could not be parsed."""
+
+
+class XPathSyntaxError(ReproError):
+    """An XPath expression in the supported fragment failed to parse."""
+
+
+class ATGError(ReproError):
+    """An attribute translation grammar definition is inconsistent."""
+
+
+class ValidationError(ReproError):
+    """Static DTD validation rejected an update (paper, Section 2.4)."""
+
+
+class SideEffectError(ReproError):
+    """An update has XML side effects and the policy is to abort.
+
+    The offending nodes are available on :attr:`affected`.
+    """
+
+    def __init__(self, message: str, affected: frozenset[int] = frozenset()):
+        super().__init__(message)
+        self.affected = affected
+
+
+class UpdateRejectedError(ReproError):
+    """The relational translation rejected the view update.
+
+    Raised when Algorithm delete finds no side-effect-free source for some
+    view tuple, or when Algorithm insert's encoding is unsatisfiable (or
+    detects an unconditional side effect).
+    """
+
+
+class CycleError(ReproError):
+    """The published view graph contains a cycle (cannot unfold to a tree)."""

@@ -1,0 +1,102 @@
+"""SQL text generation for schemas and SPJ queries.
+
+The engine is self-contained, but the paper positions the XML view as
+"stored in relations" inside an RDBMS.  This module renders our schemas
+and SPJ queries to standard SQL so the SQLite bridge
+(:mod:`repro.relational.sqlite_backend`) can execute the same queries on
+disk, and so users can inspect what a query means in familiar terms.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import QueryError
+from repro.relational.conditions import (
+    And,
+    Col,
+    Const,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    _Comparison,
+)
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttrType, RelationSchema
+
+_SQL_TYPES = {
+    AttrType.INT: "INTEGER",
+    AttrType.STR: "TEXT",
+    AttrType.BOOL: "INTEGER",  # SQLite has no BOOLEAN; 0/1 convention
+    AttrType.FLOAT: "REAL",
+}
+
+
+def create_table_sql(schema: RelationSchema) -> str:
+    """``CREATE TABLE`` statement for a relation schema."""
+    cols = ",\n  ".join(
+        f"{attr.name} {_SQL_TYPES[attr.type]} NOT NULL" for attr in schema.attributes
+    )
+    key = ", ".join(schema.key)
+    return (
+        f"CREATE TABLE {schema.name} (\n  {cols},\n  PRIMARY KEY ({key})\n)"
+    )
+
+
+def insert_sql(schema: RelationSchema) -> str:
+    """Parameterized ``INSERT`` statement for a relation schema."""
+    cols = ", ".join(schema.attribute_names)
+    marks = ", ".join("?" for _ in schema.attributes)
+    return f"INSERT INTO {schema.name} ({cols}) VALUES ({marks})"
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise QueryError(f"cannot render SQL literal for {value!r}")
+
+
+def _term_sql(term, bindings: Mapping[str, object] | None) -> str:
+    if isinstance(term, Col):
+        return f"{term.alias}.{term.attr}"
+    if isinstance(term, Const):
+        return _literal(term.value)
+    if isinstance(term, Param):
+        if bindings is None or term.name not in bindings:
+            raise QueryError(f"unbound parameter {term.name!r} in SQL generation")
+        return _literal(bindings[term.name])
+    raise QueryError(f"unknown term {term!r}")
+
+
+def predicate_sql(pred: Predicate, bindings: Mapping[str, object] | None = None) -> str:
+    """Render a predicate as a SQL boolean expression."""
+    if isinstance(pred, _Comparison):
+        return (
+            f"{_term_sql(pred.left, bindings)} {pred.symbol} "
+            f"{_term_sql(pred.right, bindings)}"
+        )
+    if isinstance(pred, And):
+        if not pred.parts:
+            return "1=1"
+        return " AND ".join(f"({predicate_sql(p, bindings)})" for p in pred.parts)
+    if isinstance(pred, Or):
+        return " OR ".join(f"({predicate_sql(p, bindings)})" for p in pred.parts)
+    if isinstance(pred, Not):
+        return f"NOT ({predicate_sql(pred.part, bindings)})"
+    raise QueryError(f"cannot render predicate {pred!r}")
+
+
+def select_sql(query: SPJQuery, bindings: Mapping[str, object] | None = None) -> str:
+    """Render an SPJ query as a ``SELECT DISTINCT`` statement."""
+    cols = ", ".join(
+        f"{col.alias}.{col.attr} AS {name}" for name, col in query.project
+    )
+    tables = ", ".join(f"{rel} AS {alias}" for rel, alias in query.tables)
+    where = predicate_sql(query.where, bindings)
+    return f"SELECT DISTINCT {cols} FROM {tables} WHERE {where}"

@@ -1,0 +1,89 @@
+"""SQLite bridge: persist a :class:`Database` and run SPJ queries on disk.
+
+The paper stores both the published database ``I`` and the view coding
+``V`` in an RDBMS.  This module round-trips our in-memory engine through
+``sqlite3`` (standard library) and can execute any :class:`SPJQuery` via
+generated SQL, which tests use to cross-check the in-memory evaluator
+against a real SQL engine.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Mapping
+
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttrType, RelationSchema
+from repro.relational.sqlgen import create_table_sql, insert_sql, select_sql
+
+
+def dump_to_sqlite(db: Database, path: str = ":memory:") -> sqlite3.Connection:
+    """Write every table of ``db`` into a SQLite database; return the handle."""
+    conn = sqlite3.connect(path)
+    cursor = conn.cursor()
+    for name in db.table_names():
+        table = db.table(name)
+        cursor.execute(create_table_sql(table.schema))
+        stmt = insert_sql(table.schema)
+        cursor.executemany(stmt, [_encode_row(table.schema, r) for r in table.rows()])
+    conn.commit()
+    return conn
+
+
+def load_from_sqlite(
+    conn: sqlite3.Connection, schemas: list[RelationSchema], name: str = "db"
+) -> Database:
+    """Read the given relations back out of SQLite into a fresh Database."""
+    db = Database(name)
+    cursor = conn.cursor()
+    for schema in schemas:
+        db.create_table(schema)
+        cols = ", ".join(schema.attribute_names)
+        cursor.execute(f"SELECT {cols} FROM {schema.name}")
+        for raw in cursor.fetchall():
+            db.insert(schema.name, _decode_row(schema, raw))
+    return db
+
+
+def run_query_sqlite(
+    conn: sqlite3.Connection,
+    query: SPJQuery,
+    bindings: Mapping[str, object] | None = None,
+    schemas: Mapping[str, RelationSchema] | None = None,
+) -> set[tuple]:
+    """Execute an SPJ query via generated SQL; return the distinct rows.
+
+    When the source ``schemas`` are supplied, boolean output columns are
+    decoded back from SQLite's 0/1 convention so results compare equal to
+    the in-memory evaluator's.
+    """
+    cursor = conn.cursor()
+    cursor.execute(select_sql(query, bindings))
+    raw_rows = cursor.fetchall()
+    bool_cols: set[int] = set()
+    if schemas:
+        alias_to_rel = {alias: rel for rel, alias in query.tables}
+        for i, (_, col) in enumerate(query.project):
+            schema = schemas.get(alias_to_rel[col.alias])
+            if schema is not None and col.attr in schema:
+                if schema.attribute(col.attr).type is AttrType.BOOL:
+                    bool_cols.add(i)
+    out = set()
+    for raw in raw_rows:
+        out.add(tuple(bool(v) if i in bool_cols else v for i, v in enumerate(raw)))
+    return out
+
+
+def _encode_row(schema: RelationSchema, row: tuple) -> tuple:
+    return tuple(
+        int(v) if schema.attributes[i].type is AttrType.BOOL else v
+        for i, v in enumerate(row)
+    )
+
+
+def _decode_row(schema: RelationSchema, raw: tuple) -> tuple:
+    return tuple(
+        bool(v) if schema.attributes[i].type is AttrType.BOOL else v
+        for i, v in enumerate(raw)
+    )

@@ -1,0 +1,788 @@
+"""Algorithm insert (paper, Section 4.3 and Appendix A).
+
+Translates a group of view-row insertions ``ΔV`` into base-table
+insertions ``ΔR`` via SAT, in five stages:
+
+1. **Templates.**  For every target edge, the equality closure of the
+   edge view's selection condition propagates the known values (parent
+   parameters, child semantic attributes, constants) into one tuple
+   template per base occurrence.  Key preservation guarantees the key
+   part is fully known; other cells become canonical variables
+   (:class:`~repro.relview.symbolic.SymVar`).  Templates whose key
+   already exists in the base table are filled from the stored row
+   (``B_i`` in the appendix); the rest are the new tuples ``U_i``.
+
+2. **Canonical assertions.**  The conditions the templates must satisfy
+   to actually derive their target (atoms over variables) are asserted.
+
+3. **Side-effect sweep.**  Every edge view is evaluated symbolically
+   over ``I ∪ X`` restricted to derivations using at least one new
+   template (seed-position enumeration avoids duplicates).  Because view
+   rows project every base key and new templates carry keys absent from
+   ``I``, such a derivation can never equal an existing view row; it is
+   benign iff it *is* one of the targets (per-position symbolic
+   identity), otherwise its condition is negated — an unconditional
+   side effect rejects the update outright (case (a) in the paper).
+
+4. **SAT.**  Variables get finite domains (their type's domain for BOOL;
+   the constants of their connected component plus fresh "distinct"
+   tokens for infinite types — a sound and complete finite abstraction
+   for equality constraints).  The formula is encoded to CNF and handed
+   to WalkSAT; optionally DPLL decides it completely.
+
+5. **ΔR.**  A model instantiates the new templates; fresh tokens decode
+   to values outside the active domain.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import UpdateRejectedError
+from repro.relational.conditions import Col, Const, Eq, Predicate
+from repro.relational.database import Database, RelationalDelta
+from repro.relational.schema import AttrType
+from repro.relview.symbolic import (
+    Atom,
+    AtomVC,
+    AtomVV,
+    Derivation,
+    SymVar,
+    Template,
+    make_atom,
+)
+from repro.sat.cnf import CNF
+from repro.sat.dpll import dpll_solve
+from repro.sat.encode import (
+    FDVar,
+    FFalse,
+    FTrue,
+    VarConst,
+    VarVar,
+    encode_formula,
+    fd_and,
+    fd_not,
+    fd_or,
+)
+from repro.sat.walksat import walksat_solve
+from repro.views.registry import EdgeView, EdgeViewRegistry
+from repro.views.store import ViewDelta, ViewStore
+
+_FRESH_POOL = 2  # distinct "anything else" values per component variable
+
+
+@dataclass
+class InsertionPlan:
+    """Result of translating a view group insertion."""
+
+    delta_r: RelationalDelta = field(default_factory=RelationalDelta)
+    new_templates: list[Template] = field(default_factory=list)
+    target_rows: list[tuple[str, tuple]] = field(default_factory=list)
+    """(view name, symbolic full row) of every target edge."""
+    num_vars: int = 0
+    num_clauses: int = 0
+    solver: str = "none"
+    derivations_checked: int = 0
+
+
+class _TargetEdge:
+    """One ΔV insertion resolved against its edge view."""
+
+    def __init__(self, view: EdgeView, parent_params: tuple, child_sem: tuple):
+        self.view = view
+        self.parent_params = parent_params
+        self.child_sem = child_sem
+        self.row: tuple | None = None  # symbolic full view row
+
+
+def translate_insertions(
+    registry: EdgeViewRegistry,
+    store: ViewStore,
+    db: Database,
+    delta_v: ViewDelta,
+    solver: str = "walksat",
+    rng: random.Random | None = None,
+) -> InsertionPlan:
+    """Run Algorithm insert for the insertions in ``ΔV``.
+
+    ``solver`` is ``'walksat'`` (the paper's choice; may give up on
+    satisfiable instances), ``'dpll'`` (complete) or ``'auto'``
+    (WalkSAT first, DPLL on give-up).
+
+    Raises :class:`UpdateRejectedError` on definite side effects, on an
+    unsatisfiable/unsolved encoding, or on inconsistent targets.
+    """
+    plan = InsertionPlan()
+    targets = _resolve_targets(registry, store, db, delta_v)
+    if not targets:
+        return plan
+
+    templates, assertions = _build_templates(db, targets)
+    plan.new_templates = [t for t in templates.values() if t.is_new]
+    for target in targets:
+        plan.target_rows.append((target.view.name, target.row))
+
+    if not plan.new_templates:
+        # Everything already present: targets must hold unconditionally.
+        for atom in assertions:
+            raise UpdateRejectedError(
+                f"target requires condition {atom} but no new tuple can "
+                "carry it"
+            )
+        return plan
+
+    derivations = _sweep_side_effects(registry, db, templates)
+    plan.derivations_checked = len(derivations)
+
+    target_rows = {(t.view.name, t.row) for t in targets}
+    formula_parts = [_atom_formula(a) for a in assertions]
+    covered_targets: set[tuple[str, tuple]] = set()
+    for derivation in derivations:
+        key = (derivation.view_name, derivation.row)
+        if key in target_rows:
+            covered_targets.add(key)
+            for atom in derivation.atoms:
+                formula_parts.append(_atom_formula(atom))
+            continue
+        if not derivation.atoms:
+            raise UpdateRejectedError(
+                f"insertion causes an unconditional side effect on view "
+                f"{derivation.view_name}: row {derivation.row!r}"
+            )
+        formula_parts.append(
+            fd_or(*(fd_not(_atom_formula(a)) for a in derivation.atoms))
+        )
+    missing = target_rows - covered_targets
+    if missing:
+        raise UpdateRejectedError(
+            f"targets {sorted(m[0] for m in missing)} are not derivable "
+            "from the base data plus the new tuples"
+        )
+
+    formula = fd_and(*formula_parts)
+    valuation = _solve(formula, _all_atoms(assertions, derivations), solver, rng, plan)
+    if valuation is None:
+        raise UpdateRejectedError(
+            f"no side-effect-free instantiation found (solver: {plan.solver})"
+        )
+
+    concrete = _decode_valuation(db, valuation, plan.new_templates)
+    for template in plan.new_templates:
+        plan.delta_r.insert(template.relation, template.instantiate(concrete))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Stage 1-2: targets and templates
+# ---------------------------------------------------------------------------
+
+
+def _resolve_targets(
+    registry: EdgeViewRegistry,
+    store: ViewStore,
+    db: Database,
+    delta_v: ViewDelta,
+) -> list[_TargetEdge]:
+    targets: list[_TargetEdge] = []
+    seen: set[tuple[str, tuple, tuple]] = set()
+    for op in delta_v.insertions():
+        if not registry.has_view(op.parent_type, op.child_type):
+            continue  # projection edge: derived, no base backing needed
+        view = registry.view(op.parent_type, op.child_type)
+        parent_sem = store.sem_of(op.parent)
+        signature = registry.atg.signature(op.parent_type)
+        parent_params = tuple(
+            parent_sem[signature.index(p)] for p in view.param_names
+        )
+        child_sem = store.sem_of(op.child)
+        dedup = (view.name, parent_params, child_sem)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        if view.matching_rows(db, parent_params, child_sem):
+            continue  # already derivable: set semantics, nothing to insert
+        targets.append(_TargetEdge(view, parent_params, child_sem))
+    return targets
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def _build_templates(
+    db: Database, targets: list[_TargetEdge]
+) -> tuple[dict[tuple[str, tuple], Template], list[Atom]]:
+    """Build the tuple templates and the canonical assertions."""
+    templates: dict[tuple[str, tuple], Template] = {}
+    assertions: list[Atom] = []
+
+    for target in targets:
+        view = target.view
+        query = view.query
+        classes = _UnionFind()
+        known: dict = {}
+
+        def learn(item, value) -> None:
+            root = classes.find(item)
+            if root in known and known[root] != value:
+                raise UpdateRejectedError(
+                    f"target edge of {view.name} is inconsistent: "
+                    f"{item} must be both {known[root]!r} and {value!r}"
+                )
+            known[root] = value
+
+        for conjunct in query.where.conjuncts():
+            if isinstance(conjunct, Eq):
+                left, right = conjunct.left, conjunct.right
+                if isinstance(left, Col) and isinstance(right, Col):
+                    classes.union((left.alias, left.attr), (right.alias, right.attr))
+                elif isinstance(left, Col) and isinstance(right, Const):
+                    learn((left.alias, left.attr), right.value)
+                elif isinstance(right, Col) and isinstance(left, Const):
+                    learn((right.alias, right.attr), left.value)
+            else:
+                if any(isinstance(c, Col) for c in conjunct.columns()):
+                    raise UpdateRejectedError(
+                        f"view {view.name} has a non-equality condition; "
+                        "insertion translation supports equality SPJ views"
+                    )
+        # Known values from the target's visible columns.
+        visible = list(target.parent_params) + list(target.child_sem)
+        for (name, col), value in zip(query.project, visible):
+            learn((col.alias, col.attr), value)
+
+        # One template per base occurrence.
+        row_cells: dict[str, list] = {}
+        for relation, alias in query.tables:
+            schema = db.schema(relation)
+            cells: list = []
+            for attr in schema.attribute_names:
+                root = classes.find((alias, attr))
+                if root in known:
+                    cells.append(known[root])
+                else:
+                    cells.append(root)  # placeholder, resolved below
+            row_cells[alias] = cells
+
+        # Determine keys; reject if a key cell is unknown.
+        alias_keys: dict[str, tuple] = {}
+        for relation, alias in query.tables:
+            schema = db.schema(relation)
+            key_values = []
+            for attr in schema.key:
+                value = row_cells[alias][schema.index_of(attr)]
+                if isinstance(value, tuple) and len(value) == 2 and isinstance(
+                    value[0], str
+                ):
+                    raise UpdateRejectedError(
+                        f"cannot determine key attribute {relation}.{attr} "
+                        f"for a target edge of {view.name}"
+                    )
+                key_values.append(value)
+            alias_keys[alias] = tuple(key_values)
+
+        # Replace unknown placeholders by canonical variables; merge with
+        # existing rows; record the conditions as assertions.
+        alias_values: dict[str, tuple] = {}
+        placeholder_var: dict = {}
+        for relation, alias in query.tables:
+            schema = db.schema(relation)
+            key = alias_keys[alias]
+            existing = db.table(relation).get(key)
+            values: list = []
+            for index, attr in enumerate(schema.attribute_names):
+                cell = row_cells[alias][index]
+                if not _is_placeholder(cell):
+                    values.append(cell)
+                    continue
+                if existing is not None:
+                    # Fill from the stored row (B_i case); remember the
+                    # binding so equalities to this class still apply.
+                    value = existing[index]
+                    values.append(value)
+                    root = cell
+                    if root in placeholder_var:
+                        result = make_atom(placeholder_var[root], value)
+                        if result is False:
+                            raise UpdateRejectedError(
+                                f"existing tuple {relation}{key} conflicts "
+                                f"with a target edge of {view.name}"
+                            )
+                        if result is not True:
+                            assertions.append(result)
+                    else:
+                        placeholder_var[root] = value
+                    continue
+                root = cell
+                var = SymVar(
+                    relation, key, attr, schema.attribute(attr).type
+                )
+                bound = placeholder_var.get(root)
+                if bound is None:
+                    placeholder_var[root] = var
+                else:
+                    result = make_atom(bound, var)
+                    if result is False:
+                        raise UpdateRejectedError(
+                            f"conflicting bindings for {var} in {view.name}"
+                        )
+                    if result is not True:
+                        assertions.append(result)
+                values.append(var)
+            if existing is not None:
+                # Concrete cells must agree with the stored row.
+                for index, cell in enumerate(values):
+                    if not isinstance(cell, SymVar) and cell != existing[index]:
+                        raise UpdateRejectedError(
+                            f"target edge of {view.name} requires "
+                            f"{relation}{key} to hold {cell!r} but it holds "
+                            f"{existing[index]!r}"
+                        )
+                values = list(existing)
+            alias_values[alias] = tuple(values)
+            tpl_key = (relation, key)
+            template = Template(
+                relation, key, tuple(values), is_new=existing is None
+            )
+            prior = templates.get(tpl_key)
+            if prior is None:
+                templates[tpl_key] = template
+            else:
+                merged, extra = _merge_templates(prior, template)
+                templates[tpl_key] = merged
+                assertions.extend(extra)
+                alias_values[alias] = merged.values
+
+        # Symbolic full view row of the target.
+        target.row = tuple(
+            alias_values[col.alias][
+                db.schema(_relation_of(query, col.alias)).index_of(col.attr)
+            ]
+            for _, col in query.project
+        )
+    return templates, assertions
+
+
+def _relation_of(query, alias: str) -> str:
+    for relation, a in query.tables:
+        if a == alias:
+            return relation
+    raise KeyError(alias)
+
+
+def _is_placeholder(cell) -> bool:
+    """Row cells start as union-find roots ((alias, attr) tuples)."""
+    return (
+        isinstance(cell, tuple)
+        and len(cell) == 2
+        and isinstance(cell[0], str)
+        and isinstance(cell[1], str)
+    )
+
+
+def _merge_templates(a: Template, b: Template) -> tuple[Template, list[Atom]]:
+    """Merge two templates for the same base tuple; emit consistency atoms."""
+    atoms: list[Atom] = []
+    merged: list = []
+    for left, right in zip(a.values, b.values):
+        result = make_atom(left, right)
+        if result is False:
+            raise UpdateRejectedError(
+                f"conflicting requirements on base tuple "
+                f"{a.relation}{a.key}: {left!r} vs {right!r}"
+            )
+        if result is not True and result is not None:
+            if isinstance(result, (AtomVC, AtomVV)):
+                atoms.append(result)
+        # Prefer the concrete side.
+        merged.append(right if isinstance(left, SymVar) else left)
+    return Template(a.relation, a.key, tuple(merged), a.is_new), atoms
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: side-effect sweep
+# ---------------------------------------------------------------------------
+
+
+def _sweep_side_effects(
+    registry: EdgeViewRegistry,
+    db: Database,
+    templates: dict[tuple[str, tuple], Template],
+) -> list[Derivation]:
+    """Every symbolic derivation (of any view) using ≥1 new template."""
+    new_by_relation: dict[str, list[Template]] = {}
+    for template in templates.values():
+        if template.is_new:
+            new_by_relation.setdefault(template.relation, []).append(template)
+    if not new_by_relation:
+        return []
+    derivations: list[Derivation] = []
+    for view in registry.views():
+        derivations.extend(_sweep_view(view, db, new_by_relation))
+    return derivations
+
+
+def _sweep_view(
+    view: EdgeView,
+    db: Database,
+    new_by_relation: dict[str, list[Template]],
+) -> list[Derivation]:
+    query = view.query
+    tables = list(query.tables)
+    relations = [relation for relation, _ in tables]
+    if not any(rel in new_by_relation for rel in relations):
+        return []
+    conjuncts = list(query.where.conjuncts())
+    out: list[Derivation] = []
+    for seed_pos, (relation, alias) in enumerate(tables):
+        for seed in new_by_relation.get(relation, ()):  # U at seed position
+            partial: dict[str, tuple] = {alias: seed.values}
+            atoms = _alias_atoms(db, query, conjuncts, alias, partial)
+            if atoms is None:
+                continue
+            out.extend(
+                _extend(
+                    view,
+                    db,
+                    new_by_relation,
+                    tables,
+                    conjuncts,
+                    seed_pos,
+                    partial,
+                    frozenset(atoms),
+                    skip={alias},
+                )
+            )
+    return out
+
+
+def _extend(
+    view: EdgeView,
+    db: Database,
+    new_by_relation: dict[str, list[Template]],
+    tables: list[tuple[str, str]],
+    conjuncts: list[Predicate],
+    seed_pos: int,
+    partial: dict[str, tuple],
+    atoms: frozenset[Atom],
+    skip: set[str],
+) -> list[Derivation]:
+    """Nested-loop extension of a partial symbolic assignment."""
+    remaining = [
+        (i, rel, alias)
+        for i, (rel, alias) in enumerate(tables)
+        if alias not in partial
+    ]
+    if not remaining:
+        row = tuple(
+            partial[col.alias][
+                db.schema(_relation_of_t(tables, col.alias)).index_of(col.attr)
+            ]
+            for _, col in view.query.project
+        )
+        return [Derivation(view.name, row, atoms)]
+    index, relation, alias = remaining[0]
+    out: list[Derivation] = []
+    candidates: list[tuple[tuple, bool]] = []
+    for row in _concrete_candidates(db, view.query, relation, alias, conjuncts, partial):
+        candidates.append((row, False))
+    if index > seed_pos:
+        # Positions after the seed may also take new templates.
+        for template in new_by_relation.get(relation, ()):  # U again
+            candidates.append((template.values, True))
+    for values, _is_template in candidates:
+        trial = dict(partial)
+        trial[alias] = values
+        extra = _alias_atoms(db, view.query, conjuncts, alias, trial)
+        if extra is None:
+            continue
+        out.extend(
+            _extend(
+                view,
+                db,
+                new_by_relation,
+                tables,
+                conjuncts,
+                seed_pos,
+                trial,
+                atoms | frozenset(extra),
+                skip,
+            )
+        )
+    return out
+
+
+def _relation_of_t(tables: list[tuple[str, str]], alias: str) -> str:
+    for relation, a in tables:
+        if a == alias:
+            return relation
+    raise KeyError(alias)
+
+
+def _concrete_candidates(
+    db: Database,
+    query,
+    relation: str,
+    alias: str,
+    conjuncts: list[Predicate],
+    partial: dict[str, tuple],
+) -> list[tuple]:
+    """Base rows for ``alias`` compatible with concrete bound values.
+
+    Uses indexed point lookups on equality conjuncts whose other side is
+    already bound to a *concrete* value.
+    """
+    table = db.table(relation)
+    eq_attrs: list[str] = []
+    eq_values: list[object] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Eq):
+            continue
+        pairs = [
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ]
+        for this, other in pairs:
+            if not (isinstance(this, Col) and this.alias == alias):
+                continue
+            if isinstance(other, Const):
+                eq_attrs.append(this.attr)
+                eq_values.append(other.value)
+            elif isinstance(other, Col) and other.alias in partial:
+                cell = _term_cell(db, query, partial, other)
+                if not isinstance(cell, SymVar):
+                    eq_attrs.append(this.attr)
+                    eq_values.append(cell)
+            break
+    if eq_attrs:
+        order = sorted(range(len(eq_attrs)), key=lambda i: eq_attrs[i])
+        attrs = tuple(eq_attrs[i] for i in order)
+        values = tuple(eq_values[i] for i in order)
+        if not table.has_index(attrs) and len(attrs) > 1:
+            # Fall back to the first single attribute.
+            attrs = (attrs[0],)
+            values = (values[0],)
+        return table.lookup(attrs, values)
+    return list(table.rows())
+
+
+def _alias_atoms(
+    db: Database,
+    query,
+    conjuncts: list[Predicate],
+    alias: str,
+    partial: dict[str, tuple],
+) -> list[Atom] | None:
+    """Check/collect conditions that became fully bound by adding ``alias``.
+
+    Returns ``None`` when a concrete condition fails; otherwise the atoms
+    contributed by symbolic comparisons.
+    """
+    atoms: list[Atom] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Eq):
+            continue
+        cols = list(conjunct.columns())
+        if not any(c.alias == alias for c in cols):
+            continue
+        if any(c.alias not in partial for c in cols):
+            continue
+        left = _term_cell(db, query, partial, conjunct.left)
+        right = _term_cell(db, query, partial, conjunct.right)
+        result = make_atom(left, right)
+        if result is False:
+            return None
+        if result is not True:
+            atoms.append(result)
+    return atoms
+
+
+def _term_cell(db: Database, query, partial: dict[str, tuple], term):
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Col):
+        relation = _relation_of(query, term.alias)
+        return partial[term.alias][db.schema(relation).index_of(term.attr)]
+    raise UpdateRejectedError(f"unsupported term {term!r} in insertion sweep")
+
+
+# ---------------------------------------------------------------------------
+# Stage 4: SAT
+# ---------------------------------------------------------------------------
+
+
+def _atom_formula(atom: Atom):
+    if isinstance(atom, AtomVC):
+        return VarConst(FDVar(atom.var.name), atom.const)
+    return VarVar(FDVar(atom.a.name), FDVar(atom.b.name))
+
+
+def _all_atoms(
+    assertions: list[Atom], derivations: list[Derivation]
+) -> list[Atom]:
+    atoms = list(assertions)
+    for derivation in derivations:
+        atoms.extend(derivation.atoms)
+    return atoms
+
+
+def _solve(
+    formula,
+    atoms: list[Atom],
+    solver: str,
+    rng: random.Random | None,
+    plan: InsertionPlan,
+) -> dict[SymVar, object] | None:
+    """Encode and solve; return a valuation of the symbolic variables."""
+    domains, var_index = _build_domains(atoms)
+    if formula is FTrue:
+        plan.solver = "trivial"
+        return {var: domain[0] for var, domain in _sym_domains(domains, var_index).items()}
+    if formula is FFalse:
+        plan.solver = "trivial"
+        return None
+    encoding = encode_formula(
+        formula, {FDVar(v.name): d for v, d in _sym_domains(domains, var_index).items()}
+    )
+    plan.num_vars = encoding.cnf.num_vars
+    plan.num_clauses = len(encoding.cnf)
+    assignment = None
+    used = solver
+    if solver in ("walksat", "auto"):
+        assignment = walksat_solve(encoding.cnf, rng=rng or random.Random(7))
+        used = "walksat"
+    if assignment is None and solver in ("dpll", "auto"):
+        assignment = dpll_solve(encoding.cnf)
+        used = "dpll"
+    plan.solver = used
+    if assignment is None:
+        return None
+    decoded = encoding.decode(assignment)
+    valuation: dict[SymVar, object] = {}
+    for var in var_index.values():
+        valuation[var] = decoded[FDVar(var.name)]
+    return valuation
+
+
+def _build_domains(
+    atoms: list[Atom],
+) -> tuple[dict[str, tuple], dict[str, SymVar]]:
+    """Finite abstraction: per-variable domains from the atom structure."""
+    var_index: dict[str, SymVar] = {}
+    neighbors: dict[str, set[str]] = {}
+    constants: dict[str, set] = {}
+    for atom in atoms:
+        if isinstance(atom, AtomVC):
+            var_index[atom.var.name] = atom.var
+            constants.setdefault(atom.var.name, set()).add(atom.const)
+            neighbors.setdefault(atom.var.name, set())
+        else:
+            var_index[atom.a.name] = atom.a
+            var_index[atom.b.name] = atom.b
+            neighbors.setdefault(atom.a.name, set()).add(atom.b.name)
+            neighbors.setdefault(atom.b.name, set()).add(atom.a.name)
+            constants.setdefault(atom.a.name, set())
+            constants.setdefault(atom.b.name, set())
+    # Connected components (equality-relevant groups).
+    domains: dict[str, tuple] = {}
+    seen: set[str] = set()
+    for name in sorted(var_index):
+        if name in seen:
+            continue
+        component = [name]
+        seen.add(name)
+        queue = [name]
+        while queue:
+            current = queue.pop()
+            for other in neighbors.get(current, ()):
+                if other not in seen:
+                    seen.add(other)
+                    component.append(other)
+                    queue.append(other)
+        pool: set = set()
+        for member in component:
+            pool |= constants.get(member, set())
+        shared = sorted(pool, key=repr)
+        fresh = [f"__fresh_{i}__{component[0]}" for i in range(len(component) + _FRESH_POOL)]
+        for member in component:
+            var = var_index[member]
+            if var.attr_type is AttrType.BOOL:
+                domains[member] = (False, True)
+            else:
+                domains[member] = tuple(shared) + tuple(fresh)
+    return domains, var_index
+
+
+def _sym_domains(
+    domains: dict[str, tuple], var_index: dict[str, SymVar]
+) -> dict[SymVar, tuple]:
+    return {var_index[name]: domain for name, domain in domains.items()}
+
+
+# ---------------------------------------------------------------------------
+# Stage 5: decode
+# ---------------------------------------------------------------------------
+
+_fresh_counter = [0]
+
+
+def _decode_valuation(
+    db: Database,
+    valuation: dict[SymVar, object],
+    new_templates: list[Template],
+) -> dict[SymVar, object]:
+    """Turn fresh tokens into concrete values outside the active domain.
+
+    Fresh tokens are shared within an equality component, so two
+    variables assigned the *same* token must decode to the *same*
+    concrete value — otherwise an asserted ``var = var`` equality would
+    be silently broken.
+    """
+    concrete: dict[SymVar, object] = {}
+    token_values: dict[str, object] = {}
+    needed_vars = {v for t in new_templates for v in t.variables()}
+    for var in sorted(needed_vars, key=lambda v: v.name):
+        value = valuation.get(var)
+        if value is None:
+            value = _fresh_value(db, var)
+        elif isinstance(value, str) and value.startswith("__fresh_"):
+            token = value
+            if token not in token_values:
+                token_values[token] = _fresh_value(db, var)
+            value = token_values[token]
+        concrete[var] = value
+    return concrete
+
+
+def _fresh_value(db: Database, var: SymVar):
+    """A value of the right type guaranteed outside the active domain."""
+    _fresh_counter[0] += 1
+    seq = _fresh_counter[0]
+    if var.attr_type is AttrType.INT:
+        table = db.table(var.relation)
+        index = table.schema.index_of(var.attr)
+        top = 0
+        for row in table.rows():
+            if isinstance(row[index], int):
+                top = max(top, row[index])
+        return top + 1_000_000 + seq
+    if var.attr_type is AttrType.FLOAT:
+        return 1e12 + seq
+    if var.attr_type is AttrType.BOOL:
+        return False
+    return f"zz_fresh_{seq}"

@@ -1,0 +1,136 @@
+"""The minimal view deletion problem (paper, Theorem 3: NP-complete).
+
+Given view-row deletions, find the *smallest* set of base-tuple deletions
+achieving them without side effects.  The paper proves NP-completeness by
+reduction from minimum set cover; accordingly this module offers
+
+- :func:`minimal_deletion_exact` — exact branch-and-bound search over
+  side-effect-free sources (small instances only);
+- :func:`minimal_deletion_greedy` — the classic ``ln n`` greedy set-cover
+  heuristic, linear-ish and good in practice.
+
+Both return ``None`` when some view row has no side-effect-free source
+(the instance is infeasible, exactly when Algorithm delete rejects).
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database, RelationalDelta
+from repro.views.registry import EdgeView, EdgeViewRegistry
+from repro.relview.delete import _is_side_effect_free
+
+
+def _candidate_covers(
+    registry: EdgeViewRegistry,
+    db: Database,
+    deletions: list[tuple[EdgeView, tuple]],
+) -> tuple[list[tuple[str, tuple]], dict[tuple[str, tuple], set[int]], bool]:
+    """For each side-effect-free source, the set of ΔV rows it covers.
+
+    Returns (sources, cover map, feasible).
+    """
+    doomed: dict[str, set[tuple]] = {}
+    for view, row in deletions:
+        doomed.setdefault(view.name, set()).add(row)
+    safe: dict[tuple[str, tuple], bool] = {}
+    covers: dict[tuple[str, tuple], set[int]] = {}
+    for index, (view, row) in enumerate(deletions):
+        for relation, alias, key in view.sources(row):
+            if db.table(relation).get(key) is None:
+                continue
+            source = (relation, key)
+            if source not in safe:
+                safe[source] = _is_side_effect_free(
+                    registry, db, relation, key, doomed
+                )
+            if safe[source]:
+                covers.setdefault(source, set()).add(index)
+    covered = set()
+    for cover in covers.values():
+        covered |= cover
+    feasible = len(covered) == len(deletions)
+    return sorted(covers), covers, feasible
+
+
+def minimal_deletion_greedy(
+    registry: EdgeViewRegistry,
+    db: Database,
+    deletions: list[tuple[EdgeView, tuple]],
+) -> RelationalDelta | None:
+    """Greedy set cover over side-effect-free sources."""
+    if not deletions:
+        return RelationalDelta()
+    sources, covers, feasible = _candidate_covers(registry, db, deletions)
+    if not feasible:
+        return None
+    uncovered = set(range(len(deletions)))
+    delta = RelationalDelta()
+    while uncovered:
+        best = max(sources, key=lambda s: (len(covers[s] & uncovered), s))
+        gain = covers[best] & uncovered
+        if not gain:
+            return None  # unreachable if feasible, defensive
+        uncovered -= gain
+        relation, key = best
+        delta.delete(relation, db.table(relation).get(key))
+    return delta
+
+
+def minimal_deletion_exact(
+    registry: EdgeViewRegistry,
+    db: Database,
+    deletions: list[tuple[EdgeView, tuple]],
+    max_sources: int = 20,
+) -> RelationalDelta | None:
+    """Exact minimal cover by branch and bound (small instances).
+
+    Raises ``ValueError`` if there are more than ``max_sources``
+    candidate sources — the problem is NP-complete (Theorem 3); use the
+    greedy heuristic beyond toy sizes.
+    """
+    if not deletions:
+        return RelationalDelta()
+    sources, covers, feasible = _candidate_covers(registry, db, deletions)
+    if not feasible:
+        return None
+    if len(sources) > max_sources:
+        raise ValueError(
+            f"{len(sources)} candidate sources exceed max_sources="
+            f"{max_sources}; use minimal_deletion_greedy"
+        )
+    universe = set(range(len(deletions)))
+    best: list[tuple[str, tuple]] | None = None
+
+    def search(chosen: list, covered: set, remaining: list) -> None:
+        nonlocal best
+        if covered == universe:
+            if best is None or len(chosen) < len(best):
+                best = list(chosen)
+            return
+        if best is not None and len(chosen) + 1 >= len(best):
+            # Even one more pick cannot beat the incumbent unless it finishes.
+            pass
+        if not remaining:
+            return
+        if best is not None and len(chosen) >= len(best):
+            return
+        # Bound: if even using all remaining we cannot cover, prune.
+        reachable = set(covered)
+        for source in remaining:
+            reachable |= covers[source]
+        if reachable != universe:
+            return
+        source, *rest = remaining
+        # Branch 1: take it (only if it helps).
+        if covers[source] - covered:
+            search(chosen + [source], covered | covers[source], rest)
+        # Branch 2: skip it.
+        search(chosen, covered, rest)
+
+    search([], set(), sources)
+    if best is None:
+        return None
+    delta = RelationalDelta()
+    for relation, key in best:
+        delta.delete(relation, db.table(relation).get(key))
+    return delta

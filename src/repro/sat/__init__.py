@@ -1,0 +1,52 @@
+"""SAT substrate for the insertion translator (paper, Section 4.3).
+
+The paper reduces SPJ view insertion to SAT and hands the instance to
+Walksat.  Walksat is a closed-source external binary, so this package
+reimplements everything from scratch:
+
+- :mod:`repro.sat.cnf` — CNF formulas, literals, assignments;
+- :mod:`repro.sat.dpll` — a complete DPLL solver with unit propagation
+  and pure-literal elimination (used as the oracle in tests, and to
+  distinguish "UNSAT" from "WalkSAT gave up");
+- :mod:`repro.sat.walksat` — WalkSAT stochastic local search with the
+  classic noise parameter and restarts (the paper's solver);
+- :mod:`repro.sat.encode` — finite-domain equality logic → CNF (direct
+  encoding with at-least-one / at-most-one clauses, the construction
+  sketched at the end of Section 4.3).
+"""
+
+from repro.sat.cnf import CNF, Clause, Lit
+from repro.sat.dpll import dpll_solve
+from repro.sat.walksat import walksat_solve
+from repro.sat.encode import (
+    EncodingResult,
+    FDVar,
+    FFalse,
+    FTrue,
+    FdAnd,
+    FdNot,
+    FdOr,
+    Formula,
+    VarConst,
+    VarVar,
+    encode_formula,
+)
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Lit",
+    "dpll_solve",
+    "walksat_solve",
+    "FDVar",
+    "Formula",
+    "FTrue",
+    "FFalse",
+    "VarConst",
+    "VarVar",
+    "FdAnd",
+    "FdOr",
+    "FdNot",
+    "encode_formula",
+    "EncodingResult",
+]

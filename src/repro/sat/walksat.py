@@ -1,0 +1,104 @@
+"""WalkSAT: stochastic local search for SAT (Selman & Kautz).
+
+The paper uses the authors' Walksat tool to process the view-insertion
+encodings and reports that it returns a truth assignment in 78% of their
+cases.  This is a faithful reimplementation of the classic algorithm:
+
+1. start from a random assignment;
+2. while unsatisfied clauses remain, pick one at random;
+3. with probability ``noise`` flip a random variable of the clause,
+   otherwise flip the variable minimizing the *break count* (number of
+   currently satisfied clauses the flip would break), flipping freely
+   when some variable has break count zero;
+4. restart after ``max_flips`` flips, up to ``max_restarts`` times.
+
+Incomplete by design: ``None`` means "gave up", not "unsatisfiable".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sat.cnf import CNF
+
+
+def walksat_solve(
+    cnf: CNF,
+    max_flips: int = 10_000,
+    max_restarts: int = 10,
+    noise: float = 0.5,
+    rng: random.Random | None = None,
+) -> dict[int, bool] | None:
+    """Run WalkSAT; return an assignment or ``None`` if it gives up."""
+    if any(len(c) == 0 for c in cnf.clauses):
+        return None
+    rng = rng if rng is not None else random.Random(0)
+    num_vars = cnf.num_vars
+    if num_vars == 0:
+        return {} if not cnf.clauses else None
+    clauses = [tuple(c) for c in cnf.clauses]
+    # occurrences: var -> clause indexes containing it (either sign)
+    occurs: dict[int, list[int]] = {v: [] for v in range(1, num_vars + 1)}
+    for idx, clause in enumerate(clauses):
+        for lit in clause:
+            occurs[abs(lit)].append(idx)
+
+    for _ in range(max_restarts):
+        assignment = [False] + [rng.random() < 0.5 for _ in range(num_vars)]
+        sat_count = [0] * len(clauses)
+        unsat: set[int] = set()
+        for idx, clause in enumerate(clauses):
+            count = sum(
+                1 for lit in clause if assignment[abs(lit)] == (lit > 0)
+            )
+            sat_count[idx] = count
+            if count == 0:
+                unsat.add(idx)
+
+        def flip(var: int) -> None:
+            new_value = not assignment[var]
+            assignment[var] = new_value
+            for idx in occurs[var]:
+                clause = clauses[idx]
+                for lit in clause:
+                    if abs(lit) != var:
+                        continue
+                    now_true = assignment[var] == (lit > 0)
+                    if now_true:
+                        sat_count[idx] += 1
+                        if sat_count[idx] == 1:
+                            unsat.discard(idx)
+                    else:
+                        sat_count[idx] -= 1
+                        if sat_count[idx] == 0:
+                            unsat.add(idx)
+
+        def break_count(var: int) -> int:
+            broken = 0
+            for idx in occurs[var]:
+                if sat_count[idx] != 1:
+                    continue
+                # Broken iff the single satisfying literal is var's.
+                for lit in clauses[idx]:
+                    if abs(lit) == var and assignment[var] == (lit > 0):
+                        broken += 1
+                        break
+            return broken
+
+        for _ in range(max_flips):
+            if not unsat:
+                return {v: assignment[v] for v in range(1, num_vars + 1)}
+            clause = clauses[rng.choice(tuple(unsat))]
+            variables = sorted({abs(lit) for lit in clause})
+            breaks = [(break_count(v), v) for v in variables]
+            zero = [v for b, v in breaks if b == 0]
+            if zero:
+                flip(rng.choice(zero))
+            elif rng.random() < noise:
+                flip(rng.choice(variables))
+            else:
+                best = min(b for b, _ in breaks)
+                flip(rng.choice([v for b, v in breaks if b == best]))
+        if not unsat:
+            return {v: assignment[v] for v in range(1, num_vars + 1)}
+    return None

@@ -1,0 +1,51 @@
+"""Background garbage collection of unreachable view nodes.
+
+After a deletion, subtrees may become disconnected from the root; the
+paper keeps them in the gen tables during update processing (shared
+subtrees must not disappear eagerly) and removes them *in the background*
+"at the completion of ΔV" (Section 2.3).  :func:`collect_unreachable`
+implements that pass: it drops every node no longer reachable from the
+root, together with its incident edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.views.store import ViewStore
+
+
+@dataclass
+class GCResult:
+    """What a garbage-collection pass removed."""
+
+    removed_nodes: list[int] = field(default_factory=list)
+    removed_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def removed_node_count(self) -> int:
+        return len(self.removed_nodes)
+
+    @property
+    def removed_edge_count(self) -> int:
+        return len(self.removed_edges)
+
+
+def collect_unreachable(store: ViewStore) -> GCResult:
+    """Remove every node not reachable from the root; return what went."""
+    result = GCResult()
+    reachable = store.reachable_from_root()
+    doomed = [node for node in store.nodes() if node not in reachable]
+    # Remove edges first (both among doomed nodes and from doomed nodes
+    # into surviving shared subtrees), then the isolated nodes.
+    for node in doomed:
+        for child in list(store.children_of(node)):
+            store.remove_edge(node, child)
+            result.removed_edges.append((node, child))
+        for parent in list(store.parents_of(node)):
+            store.remove_edge(parent, node)
+            result.removed_edges.append((parent, node))
+    for node in doomed:
+        store.remove_node(node)
+        result.removed_nodes.append(node)
+    return result

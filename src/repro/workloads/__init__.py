@@ -1,0 +1,28 @@
+"""Datasets, ATGs and update workloads.
+
+- :mod:`repro.workloads.registrar` — the paper's running example
+  (Example 1: registrar database, ATG σ0, Fig. 1 view);
+- :mod:`repro.workloads.synthetic` — the evaluation dataset of Section 5
+  (relations ``C``, ``F``, ``H``, ``CU`` with a recursive C hierarchy);
+- :mod:`repro.workloads.bom` — a bill-of-materials domain exercising the
+  public API on a second recursive schema;
+- :mod:`repro.workloads.queries` — the W1/W2/W3 update workload
+  generators of Section 5.
+"""
+
+from repro.workloads.registrar import build_registrar, registrar_atg
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+from repro.workloads.bom import build_bom
+from repro.workloads.chains import build_chain
+from repro.workloads.queries import UpdateOp, make_workload
+
+__all__ = [
+    "build_registrar",
+    "registrar_atg",
+    "SyntheticConfig",
+    "build_synthetic",
+    "build_bom",
+    "build_chain",
+    "UpdateOp",
+    "make_workload",
+]

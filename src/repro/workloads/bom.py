@@ -1,0 +1,113 @@
+"""Bill-of-materials workload: a second recursive publishing domain.
+
+Parts contain sub-parts (``contains`` is a DAG: shared components appear
+under many assemblies — exactly the sharing the DAG compression targets).
+Schema::
+
+    part(pid, pname, kind)          # kind: 'assembly' | 'component'
+    contains(parent, child)
+
+View: the catalog lists assemblies; each part recursively embeds its
+components.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.atg.model import ATG, ProjectionRule, QueryRule
+from repro.dtd.parser import parse_dtd
+from repro.relational.conditions import And, Col, Const, Eq, Param
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttrType, RelationSchema
+
+BOM_DTD_TEXT = """
+<!ELEMENT catalog (part*)>
+<!ELEMENT part (pid, pname, components)>
+<!ELEMENT components (part*)>
+<!ELEMENT pid (#PCDATA)>
+<!ELEMENT pname (#PCDATA)>
+"""
+
+
+def bom_schemas() -> list[RelationSchema]:
+    S = AttrType.STR
+    return [
+        RelationSchema(
+            "part", [("pid", S), ("pname", S), ("kind", S)], ["pid"]
+        ),
+        RelationSchema(
+            "contains", [("parent", S), ("child", S)], ["parent", "child"]
+        ),
+    ]
+
+
+def bom_atg() -> ATG:
+    dtd = parse_dtd(BOM_DTD_TEXT)
+    q_catalog_part = SPJQuery(
+        "Qcatalog_part",
+        [("part", "p")],
+        [("pid", Col("p", "pid")), ("pname", Col("p", "pname"))],
+        Eq(Col("p", "kind"), Const("assembly")),
+    )
+    q_components_part = SPJQuery(
+        "Qcomponents_part",
+        [("contains", "x"), ("part", "p")],
+        [("pid", Col("p", "pid")), ("pname", Col("p", "pname"))],
+        And(
+            Eq(Col("x", "parent"), Param("pid")),
+            Eq(Col("x", "child"), Col("p", "pid")),
+        ),
+    )
+    signatures = {
+        "catalog": (),
+        "part": ("pid", "pname"),
+        "pid": ("pid",),
+        "pname": ("pname",),
+        "components": ("pid",),
+    }
+    rules = [
+        QueryRule("catalog", "part", q_catalog_part),
+        ProjectionRule("part", "pid", ("pid",)),
+        ProjectionRule("part", "pname", ("pname",)),
+        ProjectionRule("part", "components", ("pid",)),
+        QueryRule("components", "part", q_components_part),
+    ]
+    return ATG(dtd, signatures, rules)
+
+
+def build_bom(
+    n_assemblies: int = 5,
+    n_levels: int = 3,
+    fanout: int = 3,
+    seed: int = 7,
+) -> tuple[ATG, Database]:
+    """A layered BOM with heavily shared low-level components."""
+    rng = random.Random(seed)
+    db = Database("bom")
+    for schema in bom_schemas():
+        db.create_table(schema)
+
+    levels: list[list[str]] = []
+    counter = 0
+    for level in range(n_levels + 1):
+        width = n_assemblies * max(1, fanout // 2) ** level
+        ids: list[str] = []
+        for _ in range(width):
+            counter += 1
+            pid = f"P{counter:04d}"
+            kind = "assembly" if level == 0 else "component"
+            db.insert("part", (pid, f"part-{counter}", kind))
+            ids.append(pid)
+        levels.append(ids)
+
+    for level in range(n_levels):
+        for parent in levels[level]:
+            children = rng.sample(
+                levels[level + 1], k=min(fanout, len(levels[level + 1]))
+            )
+            for child in children:
+                if not db.table("contains").has_key((parent, child)):
+                    db.insert("contains", (parent, child))
+    return bom_atg(), db

@@ -1,0 +1,135 @@
+"""Update workloads W1/W2/W3 over the synthetic dataset (Section 5).
+
+The paper's three classes, ten operations each:
+
+- **W1** — XPath with ``//`` and value-based filters
+  (``//cnode[key=A]//cnode[key=B]``);
+- **W2** — XPath with ``/`` and value-based filters
+  (``cnode[key=A]/sub/cnode[key=B]``);
+- **W3** — XPath with ``/`` plus structural *and* value filters
+  (``cnode[key=A and sub/cnode]/sub/cnode[key=B]``).
+
+Deletion workloads use the paths directly; insertion workloads append
+``/sub`` and insert a ``cnode`` subtree — by default an *existing* C key
+(a sharing insert: only an ``H`` tuple is new), with a configurable
+fraction of brand-new keys that exercise the SAT translation (and may be
+rejected, as 22% of the paper's runs were).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.synthetic import SyntheticDataset
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One workload operation."""
+
+    kind: str  # 'insert' | 'delete'
+    cls: str  # 'W1' | 'W2' | 'W3'
+    path: str
+    element: str | None = None
+    sem: tuple | None = None
+
+
+def _children(dataset: SyntheticDataset, key: int) -> list[int]:
+    """Passing child keys of ``key`` in the published hierarchy."""
+    rows = dataset.db.table("H").lookup(("h1",), (key,))
+    return sorted(h2 for _, h2 in rows if h2 in dataset.passing)
+
+
+def _descendant_pairs(
+    dataset: SyntheticDataset, rng: random.Random, want: int
+) -> list[tuple[int, int]]:
+    """(ancestor, strict descendant ≥2 levels down) pairs in the view."""
+    pairs: list[tuple[int, int]] = []
+    tops = sorted(dataset.top_level)
+    rng.shuffle(tops)
+    for top in tops:
+        frontier = _children(dataset, top)
+        depth = 0
+        while frontier and depth < 4:
+            depth += 1
+            nxt: list[int] = []
+            for node in frontier:
+                nxt.extend(_children(dataset, node))
+            frontier = sorted(set(nxt))
+            if depth >= 2 and frontier:
+                pairs.append((top, rng.choice(frontier)))
+                break
+        if len(pairs) >= want:
+            break
+    return pairs
+
+
+def _parent_child_pairs(
+    dataset: SyntheticDataset, rng: random.Random, want: int
+) -> list[tuple[int, int]]:
+    pairs: list[tuple[int, int]] = []
+    tops = sorted(dataset.top_level)
+    rng.shuffle(tops)
+    for top in tops:
+        children = _children(dataset, top)
+        if children:
+            pairs.append((top, rng.choice(children)))
+        if len(pairs) >= want:
+            break
+    return pairs
+
+
+def _payload_of(dataset: SyntheticDataset, key: int) -> str:
+    row = dataset.db.table("C").get((key,))
+    assert row is not None
+    return row[4]
+
+
+def make_workload(
+    dataset: SyntheticDataset,
+    kind: str,
+    cls: str,
+    count: int = 10,
+    seed: int = 1,
+    new_key_fraction: float = 0.3,
+) -> list[UpdateOp]:
+    """Generate ``count`` operations of class ``cls`` (insert or delete)."""
+    # Deterministic per (seed, class): str hashes are randomized per
+    # process, so derive the class salt from code points instead.
+    cls_salt = sum(ord(ch) * (i + 1) for i, ch in enumerate(cls))
+    rng = random.Random(seed * 1000 + cls_salt)
+    if cls == "W1":
+        pairs = _descendant_pairs(dataset, rng, count)
+        paths = [f"//cnode[key={a}]//cnode[key={b}]" for a, b in pairs]
+    elif cls == "W2":
+        pairs = _parent_child_pairs(dataset, rng, count)
+        paths = [f"cnode[key={a}]/sub/cnode[key={b}]" for a, b in pairs]
+    elif cls == "W3":
+        pairs = _parent_child_pairs(dataset, rng, count)
+        paths = [
+            f"cnode[key={a} and sub/cnode]/sub/cnode[key={b}]"
+            for a, b in pairs
+        ]
+    else:
+        raise ValueError(f"unknown workload class {cls!r}")
+
+    ops: list[UpdateOp] = []
+    if kind == "delete":
+        for path in paths[:count]:
+            ops.append(UpdateOp("delete", cls, path))
+        return ops
+    if kind != "insert":
+        raise ValueError(f"unknown workload kind {kind!r}")
+
+    next_new_key = dataset.config.n_c + 1000
+    for index, path in enumerate(paths[:count]):
+        target = f"{path}/sub"
+        if rng.random() < new_key_fraction:
+            key = next_new_key + index
+            sem = (key, f"new{index}")
+        else:
+            key = rng.choice(sorted(dataset.passing))
+            sem = (key, _payload_of(dataset, key))
+        ops.append(UpdateOp("insert", cls, target, element="cnode", sem=sem))
+    return ops

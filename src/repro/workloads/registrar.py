@@ -1,0 +1,159 @@
+"""The paper's running example: the registrar database and ATG σ0.
+
+Relational schema ``R0`` (Example 1, keys underlined in the paper)::
+
+    course(cno, title, dept)        project(cno, title, dept)
+    student(ssn, name)              enroll(ssn, cno)
+    prereq(cno1, cno2)
+
+DTD ``D0``::
+
+    db      → course*
+    course  → cno, title, prereq, takenBy
+    prereq  → course*
+    takenBy → student*
+    student → ssn, name
+
+The ATG publishes the CS department's course-registration hierarchy: the
+root lists CS courses; each course's ``prereq`` recursively embeds its
+prerequisite courses (hence the recursive, shareable subtrees of Fig. 1),
+and ``takenBy`` lists enrolled students.
+"""
+
+from __future__ import annotations
+
+from repro.atg.model import ATG, ProjectionRule, QueryRule
+from repro.dtd.parser import parse_dtd
+from repro.relational.conditions import Col, Const, Eq, Param
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttrType, RelationSchema
+
+REGISTRAR_DTD_TEXT = """
+<!ELEMENT db (course*)>
+<!ELEMENT course (cno, title, prereq, takenBy)>
+<!ELEMENT prereq (course*)>
+<!ELEMENT takenBy (student*)>
+<!ELEMENT student (ssn, name)>
+"""
+
+
+def registrar_schemas() -> list[RelationSchema]:
+    """The five base relations of ``R0``."""
+    S = AttrType.STR
+    return [
+        RelationSchema("course", [("cno", S), ("title", S), ("dept", S)], ["cno"]),
+        RelationSchema("project", [("cno", S), ("title", S), ("dept", S)], ["cno"]),
+        RelationSchema("student", [("ssn", S), ("name", S)], ["ssn"]),
+        RelationSchema("enroll", [("ssn", S), ("cno", S)], ["ssn", "cno"]),
+        RelationSchema("prereq", [("cno1", S), ("cno2", S)], ["cno1", "cno2"]),
+    ]
+
+
+def registrar_atg() -> ATG:
+    """The ATG σ0 of Fig. 2."""
+    dtd = parse_dtd(REGISTRAR_DTD_TEXT)
+    q_db_course = SPJQuery(
+        "Qdb_course",
+        [("course", "c")],
+        [("cno", Col("c", "cno")), ("title", Col("c", "title"))],
+        Eq(Col("c", "dept"), Const("CS")),
+    )
+    q_prereq_course = SPJQuery(
+        "Qprereq_course",
+        [("prereq", "p"), ("course", "c")],
+        [("cno", Col("c", "cno")), ("title", Col("c", "title"))],
+        where=_and(
+            Eq(Col("p", "cno1"), Param("cno")),
+            Eq(Col("p", "cno2"), Col("c", "cno")),
+        ),
+    )
+    q_takenby_student = SPJQuery(
+        "QtakenBy_student",
+        [("enroll", "e"), ("student", "s")],
+        [("ssn", Col("s", "ssn")), ("name", Col("s", "name"))],
+        where=_and(
+            Eq(Col("e", "cno"), Param("cno")),
+            Eq(Col("e", "ssn"), Col("s", "ssn")),
+        ),
+    )
+    signatures = {
+        "db": (),
+        "course": ("cno", "title"),
+        "cno": ("cno",),
+        "title": ("title",),
+        "prereq": ("cno",),
+        "takenBy": ("cno",),
+        "student": ("ssn", "name"),
+        "ssn": ("ssn",),
+        "name": ("name",),
+    }
+    rules = [
+        QueryRule("db", "course", q_db_course),
+        ProjectionRule("course", "cno", ("cno",)),
+        ProjectionRule("course", "title", ("title",)),
+        ProjectionRule("course", "prereq", ("cno",)),
+        ProjectionRule("course", "takenBy", ("cno",)),
+        QueryRule("prereq", "course", q_prereq_course),
+        QueryRule("takenBy", "student", q_takenby_student),
+        ProjectionRule("student", "ssn", ("ssn",)),
+        ProjectionRule("student", "name", ("name",)),
+    ]
+    return ATG(dtd, signatures, rules)
+
+
+def _and(*parts):
+    from repro.relational.conditions import And
+
+    return And(*parts)
+
+
+def build_registrar(populate: bool = True) -> tuple[ATG, Database]:
+    """The registrar ATG plus a small instance shaped like Fig. 1.
+
+    Courses: CS650 (prereq CS320), CS500, CS320 (prereq CS240), CS240,
+    plus the non-CS MA100 (invisible in the view).  Student S02 is
+    enrolled in both CS320 and CS500, so the S02 subtree is shared —
+    the sharing the paper's Examples 4–7 rely on.
+    """
+    db = Database("registrar")
+    for schema in registrar_schemas():
+        db.create_table(schema)
+    atg = registrar_atg()
+    if not populate:
+        return atg, db
+    db.insert_all(
+        "course",
+        [
+            ("CS650", "Advanced Databases", "CS"),
+            ("CS500", "Operating Systems", "CS"),
+            ("CS320", "Databases", "CS"),
+            ("CS240", "Data Structures", "CS"),
+            ("MA100", "Calculus", "MATH"),
+        ],
+    )
+    db.insert_all(
+        "prereq",
+        [
+            ("CS650", "CS320"),
+            ("CS320", "CS240"),
+        ],
+    )
+    db.insert_all(
+        "student",
+        [
+            ("S01", "Ada"),
+            ("S02", "Grace"),
+            ("S03", "Edsger"),
+        ],
+    )
+    db.insert_all(
+        "enroll",
+        [
+            ("S01", "CS650"),
+            ("S02", "CS320"),
+            ("S02", "CS500"),
+            ("S03", "CS240"),
+        ],
+    )
+    return atg, db

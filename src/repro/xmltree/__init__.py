@@ -1,0 +1,12 @@
+"""Ordered XML tree substrate.
+
+Trees are the *reference* representation of a published view ``σ(I)``:
+the DAG store (:mod:`repro.views`) is the compressed form the paper
+actually operates on, and unfolding the DAG must reproduce the tree.
+Tests use this package as ground truth.
+"""
+
+from repro.xmltree.tree import XMLNode, subtree_signature, tree_equal, tree_size
+from repro.xmltree.serialize import to_xml_string
+
+__all__ = ["XMLNode", "subtree_signature", "tree_equal", "tree_size", "to_xml_string"]

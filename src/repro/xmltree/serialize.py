@@ -1,0 +1,35 @@
+"""Serialization of XML trees to text."""
+
+from __future__ import annotations
+
+from repro.xmltree.tree import XMLNode
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def to_xml_string(root: XMLNode, indent: int = 2) -> str:
+    """Pretty-print a tree as an XML document fragment."""
+    lines: list[str] = []
+    _render(root, 0, indent, lines)
+    return "\n".join(lines)
+
+
+def _render(node: XMLNode, depth: int, indent: int, lines: list[str]) -> None:
+    pad = " " * (depth * indent)
+    text = node.value() if not node.children else None
+    if text is not None:
+        lines.append(f"{pad}<{node.tag}>{_escape(text)}</{node.tag}>")
+        return
+    if not node.children:
+        lines.append(f"{pad}<{node.tag}/>")
+        return
+    lines.append(f"{pad}<{node.tag}>")
+    for child in node.children:
+        _render(child, depth + 1, indent, lines)
+    lines.append(f"{pad}</{node.tag}>")

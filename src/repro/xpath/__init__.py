@@ -1,0 +1,52 @@
+"""The paper's XPath fragment.
+
+Syntax (Section 2.1)::
+
+    p ::= ε | A | * | // | p/p | p[q]
+    q ::= p | p = "s" | label() = A | q ∧ q | q ∨ q | ¬q
+
+This package provides the normalized AST (:mod:`repro.xpath.ast`), a
+recursive-descent parser (:mod:`repro.xpath.parser`) and a tree evaluator
+used as the oracle for the DAG evaluator (:mod:`repro.xpath.tree_eval`).
+Normalization follows the paper's rewriting ``p[q] ≡ p/ε[q]`` and
+``ε[q1]...[qn] ≡ ε[q1 ∧ ... ∧ qn]``, yielding the normal form
+``η1/.../ηn`` with ``ηi`` one of: a label ``A``, wildcard ``*``, ``//``,
+or a filter step ``ε[q]``.
+"""
+
+from repro.xpath.ast import (
+    DescendantStep,
+    ExistsPath,
+    FAnd,
+    FNot,
+    FOr,
+    FilterStep,
+    LabelStep,
+    LabelTest,
+    Step,
+    ValueEq,
+    WildcardStep,
+    XPath,
+    Filter,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.tree_eval import evaluate_on_tree, evaluate_on_tree_with_parents
+
+__all__ = [
+    "XPath",
+    "Step",
+    "Filter",
+    "LabelStep",
+    "WildcardStep",
+    "DescendantStep",
+    "FilterStep",
+    "LabelTest",
+    "ExistsPath",
+    "ValueEq",
+    "FAnd",
+    "FOr",
+    "FNot",
+    "parse_xpath",
+    "evaluate_on_tree",
+    "evaluate_on_tree_with_parents",
+]

@@ -1,0 +1,54 @@
+"""Shared fixtures: the registrar example, a small synthetic dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.workloads.bom import build_bom
+from repro.workloads.registrar import build_registrar
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+
+@pytest.fixture
+def registrar():
+    """(atg, db) for the paper's running example."""
+    return build_registrar()
+
+
+@pytest.fixture
+def registrar_updater(registrar):
+    atg, db = registrar
+    return XMLViewUpdater(atg, db)
+
+
+@pytest.fixture
+def registrar_updater_propagate(registrar):
+    atg, db = registrar
+    return XMLViewUpdater(
+        atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE, strict=False
+    )
+
+
+@pytest.fixture(scope="session")
+def small_synthetic():
+    """A |C|=120 synthetic dataset (session-scoped: read-only tests)."""
+    return build_synthetic(SyntheticConfig(n_c=120, seed=3))
+
+
+@pytest.fixture
+def synthetic_updater():
+    """A fresh |C|=120 dataset + updater (function-scoped: mutating tests)."""
+    dataset = build_synthetic(SyntheticConfig(n_c=120, seed=3))
+    updater = XMLViewUpdater(
+        dataset.atg,
+        dataset.db,
+        side_effect_policy=SideEffectPolicy.PROPAGATE,
+        strict=False,
+    )
+    return updater, dataset
+
+
+@pytest.fixture
+def bom():
+    return build_bom()

@@ -1,0 +1,227 @@
+"""Unit tests for ATG validation and schema-directed publishing."""
+
+import pytest
+
+from repro.atg.model import ATG, ProjectionRule, QueryRule
+from repro.atg.publisher import (
+    publish_store,
+    publish_subtree,
+    publish_tree,
+    unfold_to_tree,
+)
+from repro.dtd.parser import parse_dtd
+from repro.errors import ATGError, CycleError
+from repro.relational.conditions import And, Col, Eq, Param
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttrType, RelationSchema
+from repro.workloads.registrar import build_registrar
+from repro.xmltree.tree import tree_equal, tree_size
+
+
+class TestATGValidation:
+    def test_registrar_atg_valid(self):
+        atg, _ = build_registrar()
+        assert atg.root == "db"
+        assert len(atg.query_rules()) == 3
+
+    def test_missing_rule_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)>")
+        with pytest.raises(ATGError):
+            ATG(dtd, {"a": (), "b": ("x",)}, [])
+
+    def test_missing_signature_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)>")
+        query = SPJQuery("q", [("t", "t")], [("x", Col("t", "x"))])
+        with pytest.raises(ATGError):
+            ATG(dtd, {"a": ()}, [QueryRule("a", "b", query)])
+
+    def test_star_child_needs_query_rule(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)>")
+        with pytest.raises(ATGError):
+            ATG(
+                dtd,
+                {"a": ("x",), "b": ("x",)},
+                [ProjectionRule("a", "b", ("x",))],
+            )
+
+    def test_sequence_child_needs_projection_rule(self):
+        dtd = parse_dtd("<!ELEMENT a (b)>")
+        query = SPJQuery("q", [("t", "t")], [("x", Col("t", "x"))])
+        with pytest.raises(ATGError):
+            ATG(
+                dtd,
+                {"a": ("x",), "b": ("x",)},
+                [QueryRule("a", "b", query)],
+            )
+
+    def test_projection_arity_mismatch_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b)>")
+        with pytest.raises(ATGError):
+            ATG(
+                dtd,
+                {"a": ("x",), "b": ("x", "y")},
+                [ProjectionRule("a", "b", ("x",))],
+            )
+
+    def test_duplicate_rule_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b)>")
+        with pytest.raises(ATGError):
+            ATG(
+                dtd,
+                {"a": ("x",), "b": ("x",)},
+                [
+                    ProjectionRule("a", "b", ("x",)),
+                    ProjectionRule("a", "b", ("x",)),
+                ],
+            )
+
+    def test_rule_for_unknown_edge_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b)>")
+        with pytest.raises(ATGError):
+            ATG(
+                dtd,
+                {"a": ("x",), "b": ("x",)},
+                [
+                    ProjectionRule("a", "b", ("x",)),
+                    ProjectionRule("b", "a", ("x",)),
+                ],
+            )
+
+
+class TestPublishStore:
+    def test_registrar_counts(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        cnos = {
+            store.sem_of(n)[0]
+            for n in store.nodes()
+            if store.type_of(n) == "course"
+        }
+        assert cnos == {"CS650", "CS500", "CS320", "CS240"}  # no MA100
+
+    def test_shared_subtree_stored_once(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        # Student S02 enrolled in two courses: one node, two parents.
+        node = store.lookup("student", ("S02", "Grace"))
+        assert node is not None
+        assert store.in_degree(node) == 2
+
+    def test_course_appears_at_root_and_under_prereq(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        cs320 = store.lookup("course", ("CS320", "Databases"))
+        parents = {store.type_of(p) for p in store.parents_of(cs320)}
+        assert parents == {"db", "prereq"}
+
+    def test_children_in_production_order(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        cs650 = store.lookup("course", ("CS650", "Advanced Databases"))
+        child_types = [store.type_of(c) for c in store.children_of(cs650)]
+        assert child_types == ["cno", "title", "prereq", "takenBy"]
+
+    def test_deterministic(self):
+        atg1, db1 = build_registrar()
+        atg2, db2 = build_registrar()
+        s1 = publish_store(atg1, db1)
+        s2 = publish_store(atg2, db2)
+        assert {
+            (s1.type_of(n), s1.sem_of(n)) for n in s1.nodes()
+        } == {(s2.type_of(n), s2.sem_of(n)) for n in s2.nodes()}
+
+    def test_empty_database(self):
+        atg, db = build_registrar(populate=False)
+        store = publish_store(atg, db)
+        assert store.num_nodes == 1  # just the root
+        assert store.num_edges == 0
+
+
+class TestPublishTree:
+    def test_tree_matches_unfolded_store(self):
+        atg, db = build_registrar()
+        tree = publish_tree(atg, db)
+        unfolded = unfold_to_tree(publish_store(atg, db))
+        assert tree_equal(tree, unfolded)
+
+    def test_tree_larger_than_dag(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        tree = publish_tree(atg, db)
+        assert tree_size(tree) > store.num_nodes
+
+    def test_cycle_detected(self):
+        atg, db = build_registrar()
+        db.insert("prereq", ("CS240", "CS650"))  # CS650 -> CS320 -> CS240 -> CS650
+        with pytest.raises(CycleError):
+            publish_tree(atg, db)
+
+    def test_max_nodes_budget(self):
+        atg, db = build_registrar()
+        with pytest.raises(ATGError):
+            publish_tree(atg, db, max_nodes=3)
+
+    def test_pcdata_leaves_have_text(self):
+        atg, db = build_registrar()
+        tree = publish_tree(atg, db)
+        course = tree.children[0]
+        assert course.children[0].tag == "cno"
+        assert course.children[0].text == course.sem[0]
+
+
+class TestPublishSubtree:
+    def test_existing_subtree_reused(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        result = publish_subtree(
+            atg, db, store, "course", ("CS240", "Data Structures")
+        )
+        assert result.root == store.lookup(
+            "course", ("CS240", "Data Structures")
+        )
+        assert result.new_nodes == []
+        assert result.edges == []
+        assert result.node_count > 1
+
+    def test_new_subtree_interned_without_edges(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        before = store.num_edges
+        result = publish_subtree(atg, db, store, "course", ("CS999", "New"))
+        assert store.num_edges == before  # no edges added to the store
+        assert len(result.new_nodes) >= 1
+        assert store.lookup("course", ("CS999", "New")) == result.root
+
+    def test_new_subtree_shares_existing_children(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        # CS999 has CS240 as prereq: subtree reuses CS240's existing node.
+        db.insert("prereq", ("CS999", "CS240"))
+        result = publish_subtree(atg, db, store, "course", ("CS999", "New"))
+        cs240 = store.lookup("course", ("CS240", "Data Structures"))
+        assert any(child == cs240 for *_, child in result.edges)
+        assert cs240 not in result.new_nodes
+
+    def test_rollback_removes_new_nodes(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        before = store.num_nodes
+        result = publish_subtree(atg, db, store, "course", ("CS999", "New"))
+        assert store.num_nodes > before
+        result.rollback(store)
+        assert store.num_nodes == before
+        assert store.lookup("course", ("CS999", "New")) is None
+
+    def test_all_nodes_closed_under_descendants(self):
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        db.insert("prereq", ("CS999", "CS240"))
+        result = publish_subtree(atg, db, store, "course", ("CS999", "New"))
+        # CS240's whole stored subtree is inside all_nodes.
+        cs240 = store.lookup("course", ("CS240", "Data Structures"))
+        stack = [cs240]
+        while stack:
+            node = stack.pop()
+            assert node in result.all_nodes
+            stack.extend(store.children_of(node))

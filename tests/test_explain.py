@@ -1,0 +1,69 @@
+"""Tests for the explain module."""
+
+from repro.core.explain import explain_outcome, explain_state, explain_views
+from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.workloads.registrar import build_registrar
+
+
+class TestExplainOutcome:
+    def test_accepted_delete(self, registrar_updater):
+        out = registrar_updater.delete(
+            "course[cno=CS650]/prereq/course[cno=CS320]"
+        )
+        text = explain_outcome(out, registrar_updater.store)
+        assert "DELETE — ACCEPTED" in text
+        assert "ΔR: 1 base operation(s)" in text
+        assert "prereq('CS650', 'CS320')" in text
+        assert "timings" in text
+        assert "xpath" in text
+
+    def test_rejected_update(self, registrar):
+        atg, db = registrar
+        updater = XMLViewUpdater(atg, db, strict=False)
+        out = updater.delete("course[cno=NOPE]")
+        text = explain_outcome(out, updater.store)
+        assert "REJECTED" in text
+        assert "reason:" in text
+
+    def test_side_effects_rendered(self, registrar):
+        atg, db = registrar
+        updater = XMLViewUpdater(
+            atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
+        )
+        out = updater.insert(
+            "course[cno=CS650]//course[cno=CS320]/prereq",
+            "course",
+            ("CS500", "Operating Systems"),
+        )
+        text = explain_outcome(out, updater.store)
+        assert "side effects via" in text
+
+    def test_sat_stats_rendered(self, registrar_updater):
+        out = registrar_updater.insert(
+            "//course[cno=CS240]/prereq", "course", ("CS101", "Intro")
+        )
+        text = explain_outcome(out, registrar_updater.store)
+        assert "sat_vars=" in text
+
+    def test_node_rendering_without_store(self, registrar_updater):
+        out = registrar_updater.delete(
+            "course[cno=CS650]/prereq/course[cno=CS320]"
+        )
+        text = explain_outcome(out)  # no store: raw ids
+        assert "#" in text
+
+
+class TestExplainViews:
+    def test_all_views_listed(self, registrar_updater):
+        text = explain_views(registrar_updater.registry)
+        assert "edge_db_course" in text
+        assert "edge_prereq_course" in text
+        assert "edge_takenBy_student" in text
+        assert "SELECT DISTINCT" in text
+        assert "key ('cno1', 'cno2')" in text
+
+
+class TestExplainState:
+    def test_summary(self, registrar_updater):
+        text = explain_state(registrar_updater)
+        assert "nodes" in text and "|M|" in text and "relations" in text

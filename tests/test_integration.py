@@ -1,0 +1,166 @@
+"""Integration tests: long mixed update sequences on the synthetic data,
+cross-module consistency, and the baselines."""
+
+import random
+
+import pytest
+
+from repro.atg.publisher import publish_store
+from repro.baselines.naive_reach import squaring_reachability
+from repro.baselines.recompute import recompute_structures
+from repro.baselines.tree_updater import TreeUpdater
+from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.workloads.queries import make_workload
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+
+class TestMixedSequences:
+    def test_long_mixed_sequence(self, synthetic_updater):
+        updater, dataset = synthetic_updater
+        rng = random.Random(99)
+        accepted = 0
+        for i in range(60):
+            subs = [
+                n
+                for n in updater.store.nodes()
+                if updater.store.type_of(n) == "sub"
+                and updater.store.children_of(n)
+            ]
+            if rng.random() < 0.5 and subs:
+                sub = rng.choice(subs)
+                parent_key = updater.store.sem_of(sub)[0]
+                child = rng.choice(updater.store.children_of(sub))
+                child_key = updater.store.sem_of(child)[0]
+                out = updater.delete(
+                    f"//cnode[key={parent_key}]/sub/cnode[key={child_key}]"
+                )
+            else:
+                all_subs = [
+                    n
+                    for n in updater.store.nodes()
+                    if updater.store.type_of(n) == "sub"
+                ]
+                parent_key = updater.store.sem_of(rng.choice(all_subs))[0]
+                row = None
+                while row is None:
+                    key = rng.randrange(1, dataset.config.n_c + 1)
+                    row = dataset.db.table("C").get((key,))
+                out = updater.insert(
+                    f"//cnode[key={parent_key}]/sub", "cnode", (key, row[4])
+                )
+            accepted += out.accepted
+        assert accepted > 10
+        assert updater.check_consistency() == []
+
+    def test_workload_classes_end_to_end(self, synthetic_updater):
+        updater, dataset = synthetic_updater
+        for cls in ("W1", "W2", "W3"):
+            for op in make_workload(dataset, "delete", cls, count=2):
+                updater.delete(op.path)
+            for op in make_workload(dataset, "insert", cls, count=2):
+                updater.insert(op.path, op.element, op.sem)
+        assert updater.check_consistency() == []
+
+    def test_incremental_structures_survive_sequence(self, synthetic_updater):
+        updater, dataset = synthetic_updater
+        ops = make_workload(dataset, "delete", "W2", count=3)
+        for op in ops:
+            updater.delete(op.path)
+        fresh = recompute_structures(updater.store)
+        assert updater.reach.equals(fresh.reach)
+
+
+class TestBaselines:
+    def test_tree_updater_matches_dag_counts(self):
+        dataset = build_synthetic(SyntheticConfig(n_c=40, seed=5))
+        updater = XMLViewUpdater(dataset.atg, dataset.db)
+        tree = TreeUpdater(dataset.atg, dataset.db)
+        assert tree.size >= updater.store.num_nodes
+        dag_hits = len(updater.evaluate_xpath("//cnode").targets)
+        tree_hits = len({n.identity for n in tree.evaluate("//cnode")})
+        assert dag_hits == tree_hits
+
+    def test_tree_republish_reflects_base_update(self):
+        dataset = build_synthetic(SyntheticConfig(n_c=40, seed=5))
+        tree = TreeUpdater(dataset.atg, dataset.db)
+        key = min(dataset.top_level)
+        before = len(tree.evaluate(f"cnode[key={key}]"))
+        assert before == 1
+        dataset.db.table("C").delete_by_key((key,))
+        tree.republish()
+        assert tree.evaluate(f"cnode[key={key}]") == []
+
+    def test_squaring_matches_reach_on_synthetic(self):
+        dataset = build_synthetic(SyntheticConfig(n_c=60, seed=8))
+        updater = XMLViewUpdater(dataset.atg, dataset.db)
+        assert updater.reach.equals(squaring_reachability(updater.store))
+
+    def test_recompute_structures_report(self):
+        dataset = build_synthetic(SyntheticConfig(n_c=40, seed=5))
+        updater = XMLViewUpdater(dataset.atg, dataset.db)
+        timings = recompute_structures(updater.store)
+        assert timings.total_seconds > 0
+        assert timings.reach.equals(updater.reach)
+
+
+class TestBenchHarnessSmoke:
+    def test_fig10b(self):
+        from repro.bench.experiments import fig10b_dataset_stats
+
+        rows = fig10b_dataset_stats(sizes=(60,), print_report=False)
+        assert rows[0]["C"] == 60
+        assert rows[0]["dag_nodes"] > 0
+        assert rows[0]["M_pairs"] > 0
+
+    def test_fig11_delete(self):
+        from repro.bench.experiments import fig11_series
+
+        rows = fig11_series(
+            "delete", classes=("W2",), sizes=(60,), ops_per_class=2,
+            print_report=False,
+        )
+        assert rows and rows[0]["total_s"] > 0
+
+    def test_fig11_insert(self):
+        from repro.bench.experiments import fig11_series
+
+        rows = fig11_series(
+            "insert", classes=("W2",), sizes=(60,), ops_per_class=2,
+            print_report=False,
+        )
+        assert rows and rows[0]["ops"] == 2
+
+    def test_fig11g(self):
+        from repro.bench.experiments import fig11g_vary_selectivity
+
+        rows = fig11g_vary_selectivity(
+            n_c=60, fanouts=(1, 2), print_report=False
+        )
+        assert len(rows) >= 2
+
+    def test_fig11h(self):
+        from repro.bench.experiments import fig11h_vary_subtree
+
+        rows = fig11h_vary_subtree(n_c=60, print_report=False)
+        assert rows
+        sizes = [r["st_nodes"] for r in rows]
+        assert sizes == sorted(sizes)  # deeper layers root smaller STs
+
+    def test_table1(self):
+        from repro.bench.experiments import table1_incremental_vs_recompute
+
+        rows = table1_incremental_vs_recompute(
+            sizes=(60,), ops=2, print_report=False
+        )
+        assert rows[0]["recompute_M_s"] > 0
+
+    def test_ablations(self):
+        from repro.bench.experiments import (
+            ablation_dag_vs_tree,
+            ablation_minimal_delete,
+            ablation_reach,
+        )
+
+        assert ablation_reach(sizes=(60,), print_report=False)
+        assert ablation_dag_vs_tree(sizes=(40,), print_report=False)
+        assert ablation_minimal_delete(n_c=60, ops=2, print_report=False)

@@ -1,0 +1,122 @@
+"""Focused tests for smaller internals: the XPath compiler, predicate
+rendering/binding, the bench CSV writer, and report truncation."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.__main__ import _write_csv
+from repro.core.dag_eval import _compile
+from repro.relational.conditions import (
+    And,
+    Col,
+    Const,
+    Eq,
+    Lt,
+    Not,
+    Or,
+    Param,
+    TRUE,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestXPathCompiler:
+    def test_no_filters_empty_program(self):
+        program = _compile(parse_xpath("a/b//c"))
+        assert program.units == []
+        assert program.path_plans == []
+
+    def test_value_filter_compiles_path_then_filter(self):
+        program = _compile(parse_xpath("a[b=1]"))
+        kinds = [kind for kind, _ in program.units]
+        assert kinds == ["path", "filter"]
+        ops, value = program.path_plans[0]
+        assert ops == [(0, "b")]
+        assert value == "1"
+
+    def test_shared_subexpression_compiled_once(self):
+        program = _compile(parse_xpath("a[b=1 and b=1]"))
+        # identical atoms collapse through the frozen-dataclass identity
+        assert len(program.path_plans) == 1
+
+    def test_nested_filter_dependency_order(self):
+        program = _compile(parse_xpath("a[b[c=1]/d]"))
+        # the inner c=1 path+filter must appear before the outer b/d path
+        kinds = [kind for kind, _ in program.units]
+        assert kinds.index("filter") > kinds.index("path")
+        # outer path plan references the inner filter by index
+        outer_ops, _ = program.path_plans[-1]
+        assert any(op[0] == 2 for op in outer_ops)
+
+    def test_descendant_op(self):
+        program = _compile(parse_xpath("a[//b]"))
+        ops, _ = program.path_plans[0]
+        assert ops[0] == (3,)
+
+    def test_boolean_plans(self):
+        program = _compile(parse_xpath("a[b or not(c) and label()=x]"))
+        codes = {plan[0] for plan in program.filter_plans}
+        assert {0, 1, 2, 3, 4} >= codes
+        assert 3 in codes  # or
+        assert 4 in codes  # not
+
+
+class TestPredicates:
+    def test_str_rendering(self):
+        pred = And(
+            Eq(Col("a", "x"), Const(1)),
+            Or(Lt(Col("a", "y"), Const(2)), Not(TRUE)),
+        )
+        text = str(pred)
+        assert "a.x = 1" in text
+        assert "a.y < 2" in text
+        assert "NOT" in text
+        assert str(TRUE) == "TRUE"
+
+    def test_bind_substitutes_params(self):
+        pred = And(Eq(Col("a", "x"), Param("p")), Not(Eq(Param("p"), Const(1))))
+        bound = pred.bind({"p": 7})
+        assert "7" in str(bound)
+        assert ":p" not in str(bound)
+
+    def test_conjuncts_flatten(self):
+        pred = And(And(Eq(Col("a", "x"), Const(1))), Eq(Col("a", "y"), Const(2)))
+        assert len(list(pred.conjuncts())) == 2
+
+    def test_columns_iteration(self):
+        pred = Or(Eq(Col("a", "x"), Col("b", "y")), Not(Eq(Col("c", "z"), Const(1))))
+        cols = {(c.alias, c.attr) for c in pred.columns()}
+        assert cols == {("a", "x"), ("b", "y"), ("c", "z")}
+
+
+class TestCsvWriter:
+    def test_writes_rows(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 2, "b": 3.5, "c": "x"}]
+        _write_csv(str(tmp_path), "exp", rows)
+        content = (tmp_path / "exp.csv").read_text().splitlines()
+        assert content[0] == "a,b,c"
+        assert content[1] == "1,2.5,"
+        assert content[2] == "2,3.5,x"
+
+    def test_no_dir_is_noop(self):
+        _write_csv(None, "exp", [{"a": 1}])  # must not raise
+
+    def test_empty_rows_skipped(self, tmp_path):
+        _write_csv(str(tmp_path), "empty", [])
+        assert not (tmp_path / "empty.csv").exists()
+
+
+class TestExplainTruncation:
+    def test_large_delta_truncated(self, registrar_updater_propagate):
+        from repro.core.explain import explain_outcome
+
+        u = registrar_updater_propagate
+        # Insert a new course: ΔV has internal + connection edges.
+        out = u.insert(".", "course", ("CS950", "Big"))
+        text = explain_outcome(out, u.store)
+        assert "ΔV:" in text
+        # A delete touching many edges:
+        out2 = u.delete("//course")
+        text2 = explain_outcome(out2, u.store)
+        assert "ACCEPTED" in text2 or "REJECTED" in text2

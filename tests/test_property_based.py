@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+- Algorithm Reach equals the transitive-closure oracle on random DAGs;
+- the topological order invariant holds on random DAGs and after swaps;
+- DAG XPath evaluation equals tree evaluation after unfolding;
+- DPLL agrees with brute force on small random CNFs;
+- the finite-domain encoder is sound (decoded model satisfies formula);
+- random update sequences keep the incremental state consistent with a
+  fresh republish (the ΔX(T) = σ(ΔR(I)) invariant).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atg.publisher import publish_store, unfold_to_tree
+from repro.core.dag_eval import DagXPathEvaluator
+from repro.core.reachability import compute_reach
+from repro.core.topo import TopoOrder
+from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.sat.cnf import CNF
+from repro.sat.dpll import dpll_solve
+from repro.sat.encode import (
+    FDVar,
+    VarConst,
+    VarVar,
+    encode_formula,
+    fd_and,
+    fd_not,
+    fd_or,
+)
+from repro.workloads.registrar import build_registrar
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+from repro.xpath.parser import parse_xpath
+from repro.xpath.tree_eval import evaluate_on_tree
+
+# ---------------------------------------------------------------------------
+# Random DAG stores (via the registrar schema: prereq edges over courses)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def prereq_dags(draw):
+    """A random acyclic prereq relation over up to 8 courses."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    edges = set()
+    for child in range(1, n):
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=child - 1),
+                max_size=2,
+                unique=True,
+            )
+        )
+        for parent in parents:
+            edges.add((parent, child))
+    return n, sorted(edges)
+
+
+def store_from_dag(n, edges):
+    atg, db = build_registrar(populate=False)
+    for i in range(n):
+        db.insert("course", (f"C{i:02d}", f"t{i}", "CS"))
+    for parent, child in edges:
+        db.insert("prereq", (f"C{parent:02d}", f"C{child:02d}"))
+    return publish_store(atg, db)
+
+
+@given(prereq_dags())
+@settings(max_examples=40, deadline=None)
+def test_reach_matches_networkx_on_random_dags(dag):
+    n, edges = dag
+    store = store_from_dag(n, edges)
+    topo = TopoOrder.from_store(store)
+    reach = compute_reach(store, topo)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(store.nodes())
+    for node in store.nodes():
+        for child in store.children_of(node):
+            graph.add_edge(node, child)
+    assert set(reach.pairs()) == set(nx.transitive_closure(graph).edges())
+
+
+@given(prereq_dags())
+@settings(max_examples=40, deadline=None)
+def test_topo_invariant_on_random_dags(dag):
+    n, edges = dag
+    store = store_from_dag(n, edges)
+    topo = TopoOrder.from_store(store)
+    for node in store.nodes():
+        for child in store.children_of(node):
+            assert topo.position(child) < topo.position(node)
+
+
+PATH_POOL = [
+    "course",
+    "//course",
+    "course/prereq/course",
+    "//course[prereq/course]",
+    "//course[not(prereq/course)]",
+    "course//cno",
+    "//*[label()=prereq]",
+    "course[cno=C00]//course",
+    "//course[cno=C01 or cno=C02]",
+]
+
+
+@given(prereq_dags(), st.sampled_from(PATH_POOL))
+@settings(max_examples=60, deadline=None)
+def test_dag_eval_matches_tree_eval(dag, path_text):
+    n, edges = dag
+    store = store_from_dag(n, edges)
+    topo = TopoOrder.from_store(store)
+    reach = compute_reach(store, topo)
+    evaluator = DagXPathEvaluator(store, topo, reach)
+    path = parse_xpath(path_text)
+    dag_ids = sorted(
+        (store.type_of(t), store.sem_of(t))
+        for t in evaluator.evaluate(path).targets
+    )
+    tree = unfold_to_tree(store)
+    tree_ids = sorted({n_.identity for n_ in evaluate_on_tree(path, tree)})
+    assert dag_ids == tree_ids
+
+
+# ---------------------------------------------------------------------------
+# SAT layer
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_cnfs(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=5))
+    n_clauses = draw(st.integers(min_value=1, max_value=10))
+    clauses = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = tuple(
+            draw(st.integers(min_value=1, max_value=n_vars))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        )
+        clauses.append(clause)
+    return n_vars, clauses
+
+
+@given(small_cnfs())
+@settings(max_examples=80, deadline=None)
+def test_dpll_agrees_with_bruteforce(instance):
+    n_vars, clauses = instance
+    cnf = CNF()
+    for clause in clauses:
+        cnf.add_clause(clause)
+    cnf.num_vars = max(cnf.num_vars, n_vars)
+    model = dpll_solve(cnf)
+    brute = any(
+        cnf.is_satisfied_by({i + 1: bits[i] for i in range(cnf.num_vars)})
+        for bits in itertools.product(
+            [False, True], repeat=cnf.num_vars
+        )
+    )
+    assert (model is not None) == brute
+    if model is not None:
+        assert cnf.is_satisfied_by(model)
+
+
+_VARS = [FDVar("x"), FDVar("y"), FDVar("z")]
+_DOMAINS = {v: ("a", "b", "c") for v in _VARS}
+
+
+@st.composite
+def fd_formulas(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return VarConst(
+                draw(st.sampled_from(_VARS)), draw(st.sampled_from(["a", "b", "c"]))
+            )
+        return VarVar(draw(st.sampled_from(_VARS)), draw(st.sampled_from(_VARS)))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return fd_not(draw(fd_formulas(depth=depth + 1)))
+    parts = [
+        draw(fd_formulas(depth=depth + 1))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    ]
+    return fd_and(*parts) if kind == "and" else fd_or(*parts)
+
+
+def eval_formula(formula, valuation):
+    from repro.sat.encode import FFalse, FTrue, FdAnd, FdNot, FdOr
+
+    if formula is FTrue:
+        return True
+    if formula is FFalse:
+        return False
+    if isinstance(formula, VarConst):
+        return valuation[formula.var] == formula.value
+    if isinstance(formula, VarVar):
+        return valuation[formula.a] == valuation[formula.b]
+    if isinstance(formula, FdAnd):
+        return all(eval_formula(p, valuation) for p in formula.parts)
+    if isinstance(formula, FdOr):
+        return any(eval_formula(p, valuation) for p in formula.parts)
+    if isinstance(formula, FdNot):
+        return not eval_formula(formula.part, valuation)
+    raise TypeError(formula)
+
+
+@given(fd_formulas())
+@settings(max_examples=80, deadline=None)
+def test_encoder_sound_and_complete(formula):
+    encoding = encode_formula(formula, _DOMAINS)
+    model = dpll_solve(encoding.cnf)
+    brute = any(
+        eval_formula(formula, dict(zip(_VARS, values)))
+        for values in itertools.product("abc", repeat=3)
+    )
+    assert (model is not None) == brute
+    if model is not None:
+        assert eval_formula(formula, encoding.decode(model))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: random update sequences keep the state consistent
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=1, max_value=60),
+            st.integers(min_value=1, max_value=60),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_update_sequences_stay_consistent(ops):
+    dataset = build_synthetic(SyntheticConfig(n_c=60, seed=13))
+    updater = XMLViewUpdater(
+        dataset.atg,
+        dataset.db,
+        side_effect_policy=SideEffectPolicy.PROPAGATE,
+        strict=False,
+    )
+    for kind, a, b in ops:
+        if kind == "insert":
+            row = dataset.db.table("C").get((b,))
+            if row is None:
+                continue
+            updater.insert(f"//cnode[key={a}]/sub", "cnode", (b, row[4]))
+        else:
+            updater.delete(f"//cnode[key={a}]/sub/cnode[key={b}]")
+    assert updater.check_consistency() == []

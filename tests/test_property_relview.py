@@ -1,0 +1,157 @@
+"""Property-based tests for the relational view-update layer and the
+maintenance algorithms under randomized update sequences."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atg.publisher import publish_store
+from repro.baselines.recompute import recompute_structures
+from repro.core.dag_eval import DagXPathEvaluator
+from repro.core.reachability import compute_reach
+from repro.core.topo import TopoOrder
+from repro.core.translate import xdelete
+from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.errors import UpdateRejectedError
+from repro.relview.delete import expand_view_deletions, translate_deletions
+from repro.views.registry import build_registry
+from repro.workloads.registrar import build_registrar
+from repro.xpath.parser import parse_xpath
+
+
+@st.composite
+def registrar_instances(draw):
+    """A random registrar database: up to 7 courses, random prereqs
+    (acyclic by index), random enrollments."""
+    n_courses = draw(st.integers(min_value=2, max_value=7))
+    prereq_edges = set()
+    for child in range(1, n_courses):
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=child - 1),
+                max_size=2,
+                unique=True,
+            )
+        )
+        prereq_edges.update((p, child) for p in parents)
+    n_students = draw(st.integers(min_value=0, max_value=3))
+    enrollments = set()
+    for s in range(n_students):
+        courses = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_courses - 1),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        enrollments.update((s, c) for c in courses)
+    return n_courses, sorted(prereq_edges), sorted(enrollments)
+
+
+def build_instance(spec):
+    n_courses, prereq_edges, enrollments = spec
+    atg, db = build_registrar(populate=False)
+    for i in range(n_courses):
+        db.insert("course", (f"C{i:02d}", f"t{i}", "CS"))
+    for p, c in prereq_edges:
+        db.insert("prereq", (f"C{p:02d}", f"C{c:02d}"))
+    students = {s for s, _ in enrollments}
+    for s in students:
+        db.insert("student", (f"S{s:02d}", f"n{s}"))
+    for s, c in enrollments:
+        db.insert("enroll", (f"S{s:02d}", f"C{c:02d}"))
+    return atg, db
+
+
+@given(registrar_instances(), st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_delete_translation_loses_exactly_delta_v(spec, edge_index):
+    """For any prereq edge deletion: after ΔR, re-evaluating every view
+    loses exactly the doomed rows and gains nothing."""
+    atg, db = build_instance(spec)
+    _, prereq_edges, _ = spec
+    if not prereq_edges:
+        return
+    p, c = prereq_edges[edge_index % len(prereq_edges)]
+    registry = build_registry(atg, db)
+    store = publish_store(atg, db)
+    topo = TopoOrder.from_store(store)
+    reach = compute_reach(store, topo)
+    evaluator = DagXPathEvaluator(store, topo, reach)
+    path = parse_xpath(f"//course[cno=C{p:02d}]/prereq/course[cno=C{c:02d}]")
+    result = evaluator.evaluate(path, mode="delete")
+    if not result.targets:
+        return
+    delta_v = xdelete(store, result)
+    rows = expand_view_deletions(registry, store, db, delta_v)
+    doomed = {(v.name, r) for v, r in rows}
+    before = {v.name: set(v.evaluate(db).rows) for v in registry.views()}
+    try:
+        plan = translate_deletions(registry, db, rows)
+    except UpdateRejectedError:
+        return  # legitimately untranslatable instance
+    db.apply(plan.delta_r)
+    after = {v.name: set(v.evaluate(db).rows) for v in registry.views()}
+    lost = {
+        (name, r) for name in before for r in before[name] - after[name]
+    }
+    gained = {
+        (name, r) for name in before for r in after[name] - before[name]
+    }
+    assert not gained
+    assert lost == doomed
+
+
+@given(
+    registrar_instances(),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert_edge", "delete_edge", "insert_new"]),
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_maintenance_equals_recompute_after_random_updates(spec, ops):
+    """After any accepted update sequence, incrementally maintained M/L
+    equal batch recomputation and the view equals a republish."""
+    atg, db = build_instance(spec)
+    n_courses = spec[0]
+    updater = XMLViewUpdater(
+        atg, db,
+        side_effect_policy=SideEffectPolicy.PROPAGATE,
+        strict=False,
+    )
+    new_counter = [0]
+    for kind, a, b in ops:
+        ca = f"C{a % n_courses:02d}"
+        cb = f"C{b % n_courses:02d}"
+        if kind == "insert_edge":
+            row = db.table("course").get((cb,))
+            if row is None:
+                continue
+            updater.insert(
+                f"//course[cno={ca}]/prereq", "course", (cb, row[1])
+            )
+        elif kind == "delete_edge":
+            updater.delete(f"//course[cno={ca}]/prereq/course[cno={cb}]")
+        else:
+            new_counter[0] += 1
+            updater.insert(
+                f"//course[cno={ca}]/prereq",
+                "course",
+                (f"N{new_counter[0]:02d}", "new"),
+            )
+    fresh = recompute_structures(updater.store)
+    assert updater.reach.equals(fresh.reach)
+    for node in updater.store.nodes():
+        for child in updater.store.children_of(node):
+            assert updater.topo.position(child) < updater.topo.position(node)
+    assert updater.check_consistency() == []

@@ -1,0 +1,274 @@
+"""Unit tests for SPJ query evaluation: filters, joins, params, provenance."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.conditions import (
+    And,
+    Col,
+    Const,
+    Eq,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Param,
+    TRUE,
+)
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttrType, RelationSchema
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        RelationSchema(
+            "r", [("a", AttrType.INT), ("b", AttrType.STR)], ["a"]
+        )
+    )
+    database.create_table(
+        RelationSchema(
+            "s", [("c", AttrType.INT), ("d", AttrType.STR)], ["c"]
+        )
+    )
+    database.insert_all("r", [(1, "x"), (2, "y"), (3, "x")])
+    database.insert_all("s", [(1, "u"), (2, "v"), (4, "w")])
+    return database
+
+
+def q(tables, project, where=TRUE, name="q"):
+    return SPJQuery(name, tables, project, where)
+
+
+class TestConstruction:
+    def test_requires_tables(self):
+        with pytest.raises(QueryError):
+            q([], [("a", Col("r", "a"))])
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(QueryError):
+            q([("r", "x"), ("s", "x")], [("a", Col("x", "a"))])
+
+    def test_requires_projection(self):
+        with pytest.raises(QueryError):
+            q([("r", "r")], [])
+
+    def test_duplicate_output_names_rejected(self):
+        with pytest.raises(QueryError):
+            q([("r", "r")], [("a", Col("r", "a")), ("a", Col("r", "b"))])
+
+    def test_unknown_projection_alias_rejected(self):
+        with pytest.raises(QueryError):
+            q([("r", "r")], [("a", Col("zz", "a"))])
+
+    def test_params_detection(self):
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            Eq(Col("r", "b"), Param("p")),
+        )
+        assert query.params() == {"p"}
+
+    def test_output_index(self):
+        query = q([("r", "r")], [("a", Col("r", "a")), ("b", Col("r", "b"))])
+        assert query.output_index("b") == 1
+        with pytest.raises(QueryError):
+            query.output_index("zzz")
+
+
+class TestSelection:
+    def test_full_scan(self, db):
+        query = q([("r", "r")], [("a", Col("r", "a"))])
+        assert sorted(query.evaluate(db).rows) == [(1,), (2,), (3,)]
+
+    def test_eq_const(self, db):
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            Eq(Col("r", "b"), Const("x")),
+        )
+        assert sorted(query.evaluate(db).rows) == [(1,), (3,)]
+
+    def test_eq_const_reversed(self, db):
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            Eq(Const("x"), Col("r", "b")),
+        )
+        assert sorted(query.evaluate(db).rows) == [(1,), (3,)]
+
+    def test_comparisons(self, db):
+        cases = [
+            (Lt(Col("r", "a"), Const(2)), [(1,)]),
+            (Le(Col("r", "a"), Const(2)), [(1,), (2,)]),
+            (Gt(Col("r", "a"), Const(2)), [(3,)]),
+            (Ge(Col("r", "a"), Const(2)), [(2,), (3,)]),
+            (Ne(Col("r", "a"), Const(2)), [(1,), (3,)]),
+        ]
+        for where, expected in cases:
+            query = q([("r", "r")], [("a", Col("r", "a"))], where)
+            assert sorted(query.evaluate(db).rows) == expected
+
+    def test_or_filter(self, db):
+        where = Or(Eq(Col("r", "a"), Const(1)), Eq(Col("r", "a"), Const(3)))
+        query = q([("r", "r")], [("a", Col("r", "a"))], where)
+        assert sorted(query.evaluate(db).rows) == [(1,), (3,)]
+
+    def test_not_filter(self, db):
+        where = Not(Eq(Col("r", "b"), Const("x")))
+        query = q([("r", "r")], [("a", Col("r", "a"))], where)
+        assert sorted(query.evaluate(db).rows) == [(2,)]
+
+    def test_constant_false(self, db):
+        where = Eq(Const(1), Const(2))
+        query = q([("r", "r")], [("a", Col("r", "a"))], where)
+        assert query.evaluate(db).rows == []
+
+    def test_set_semantics_dedupe(self, db):
+        query = q([("r", "r")], [("b", Col("r", "b"))])
+        assert sorted(query.evaluate(db).rows) == [("x",), ("y",)]
+
+
+class TestJoin:
+    def test_equi_join(self, db):
+        query = q(
+            [("r", "r"), ("s", "s")],
+            [("a", Col("r", "a")), ("d", Col("s", "d"))],
+            Eq(Col("r", "a"), Col("s", "c")),
+        )
+        assert sorted(query.evaluate(db).rows) == [(1, "u"), (2, "v")]
+
+    def test_cartesian_product(self, db):
+        query = q(
+            [("r", "r"), ("s", "s")],
+            [("a", Col("r", "a")), ("c", Col("s", "c"))],
+        )
+        assert len(query.evaluate(db).rows) == 9
+
+    def test_self_join_with_renaming(self, db):
+        query = q(
+            [("r", "r1"), ("r", "r2")],
+            [("a1", Col("r1", "a")), ("a2", Col("r2", "a"))],
+            And(
+                Eq(Col("r1", "b"), Col("r2", "b")),
+                Lt(Col("r1", "a"), Col("r2", "a")),
+            ),
+        )
+        assert query.evaluate(db).rows == [(1, 3)]
+
+    def test_join_plus_filter(self, db):
+        query = q(
+            [("r", "r"), ("s", "s")],
+            [("a", Col("r", "a"))],
+            And(
+                Eq(Col("r", "a"), Col("s", "c")),
+                Eq(Col("s", "d"), Const("v")),
+            ),
+        )
+        assert query.evaluate(db).rows == [(2,)]
+
+    def test_three_way_join(self, db):
+        query = q(
+            [("r", "r"), ("s", "s"), ("r", "r2")],
+            [("a", Col("r", "a")), ("a2", Col("r2", "a"))],
+            And(
+                Eq(Col("r", "a"), Col("s", "c")),
+                Eq(Col("s", "c"), Col("r2", "a")),
+            ),
+        )
+        assert sorted(query.evaluate(db).rows) == [(1, 1), (2, 2)]
+
+    def test_empty_join(self, db):
+        query = q(
+            [("r", "r"), ("s", "s")],
+            [("a", Col("r", "a"))],
+            And(
+                Eq(Col("r", "a"), Col("s", "c")),
+                Eq(Col("s", "d"), Const("nope")),
+            ),
+        )
+        assert query.evaluate(db).rows == []
+
+
+class TestParams:
+    def test_bound_param(self, db):
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            Eq(Col("r", "b"), Param("p")),
+        )
+        assert query.evaluate(db, {"p": "y"}).rows == [(2,)]
+
+    def test_unbound_param_raises(self, db):
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            Eq(Col("r", "b"), Param("p")),
+        )
+        with pytest.raises(QueryError):
+            query.evaluate(db)
+
+    def test_rebinding(self, db):
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            Eq(Col("r", "b"), Param("p")),
+        )
+        assert sorted(query.evaluate(db, {"p": "x"}).rows) == [(1,), (3,)]
+        assert query.evaluate(db, {"p": "zzz"}).rows == []
+
+
+class TestProvenance:
+    def test_derivations_track_base_rows(self, db):
+        query = q(
+            [("r", "r"), ("s", "s")],
+            [("a", Col("r", "a"))],
+            Eq(Col("r", "a"), Col("s", "c")),
+        )
+        result = query.evaluate(db, with_derivations=True)
+        assert (1,) in result
+        derivation = result.derivations[(1,)][0]
+        assert derivation == {"r": (1, "x"), "s": (1, "u")}
+
+    def test_multiple_derivations_of_one_row(self, db):
+        query = q(
+            [("r", "r"), ("s", "s")],
+            [("b", Col("r", "b"))],
+            Eq(Col("r", "a"), Col("s", "c")),
+        )
+        result = query.evaluate(db, with_derivations=True)
+        # ('x',) derives only from r=(1,'x') here (3 has no s partner).
+        assert len(result.derivations[("x",)]) == 1
+
+    def test_result_container(self, db):
+        query = q([("r", "r")], [("a", Col("r", "a"))])
+        result = query.evaluate(db)
+        assert len(result) == 3
+        assert (1,) in result
+        assert list(result)[0] == (1,)
+
+
+class TestIndexUsage:
+    def test_index_point_lookup(self, db):
+        db.table("r").create_index(("b",))
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            Eq(Col("r", "b"), Const("x")),
+        )
+        assert sorted(query.evaluate(db).rows) == [(1,), (3,)]
+
+    def test_partial_index_fallback(self, db):
+        # Two eq-const conjuncts but only one single-attr index.
+        db.table("r").create_index(("b",))
+        query = q(
+            [("r", "r")],
+            [("a", Col("r", "a"))],
+            And(Eq(Col("r", "b"), Const("x")), Eq(Col("r", "a"), Const(3))),
+        )
+        assert query.evaluate(db).rows == [(3,)]

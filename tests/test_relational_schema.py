@@ -1,0 +1,147 @@
+"""Unit tests for relation schemas and attribute typing."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import AttrType, Attribute, RelationSchema
+
+
+def make_schema():
+    return RelationSchema(
+        "emp",
+        [("id", AttrType.INT), ("name", AttrType.STR), ("active", AttrType.BOOL)],
+        ["id"],
+    )
+
+
+class TestAttrType:
+    def test_python_types(self):
+        assert AttrType.INT.python_type is int
+        assert AttrType.STR.python_type is str
+        assert AttrType.BOOL.python_type is bool
+        assert AttrType.FLOAT.python_type is float
+
+    def test_bool_is_finite(self):
+        assert AttrType.BOOL.is_finite
+        assert AttrType.BOOL.domain() == (False, True)
+
+    def test_infinite_types_have_no_domain(self):
+        for t in (AttrType.INT, AttrType.STR, AttrType.FLOAT):
+            assert not t.is_finite
+            with pytest.raises(SchemaError):
+                t.domain()
+
+    def test_int_attribute_rejects_bool(self):
+        attr = Attribute("x", AttrType.INT)
+        assert attr.accepts(5)
+        assert not attr.accepts(True)
+
+    def test_float_accepts_int(self):
+        attr = Attribute("x", AttrType.FLOAT)
+        assert attr.accepts(5)
+        assert attr.accepts(5.5)
+        assert not attr.accepts(True)
+
+    def test_str_attribute(self):
+        attr = Attribute("x", AttrType.STR)
+        assert attr.accepts("a")
+        assert not attr.accepts(1)
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = make_schema()
+        assert schema.arity == 3
+        assert schema.attribute_names == ("id", "name", "active")
+        assert schema.key == ("id",)
+        assert schema.key_indexes == (0,)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", [("a", AttrType.INT)], ["a"])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "r", [("a", AttrType.INT), ("a", AttrType.STR)], ["a"]
+            )
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [], ["a"])
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [("a", AttrType.INT)], [])
+
+    def test_unknown_key_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [("a", AttrType.INT)], ["b"])
+
+    def test_duplicate_key_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [("a", AttrType.INT)], ["a", "a"])
+
+    def test_index_of(self):
+        schema = make_schema()
+        assert schema.index_of("name") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "id" in schema
+        assert "nope" not in schema
+
+    def test_validate_row_arity(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "a"))
+
+    def test_validate_row_types(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "a", "notbool"))
+        assert schema.validate_row((1, "a", True)) == (1, "a", True)
+
+    def test_key_of(self):
+        schema = make_schema()
+        assert schema.key_of((7, "x", False)) == (7,)
+
+    def test_composite_key(self):
+        schema = RelationSchema(
+            "e", [("a", AttrType.INT), ("b", AttrType.INT)], ["a", "b"]
+        )
+        assert schema.key_of((1, 2)) == (1, 2)
+
+    def test_project(self):
+        schema = make_schema()
+        assert schema.project((1, "a", True), ["name", "id"]) == ("a", 1)
+
+    def test_row_from_dict(self):
+        schema = make_schema()
+        row = schema.row_from_dict({"id": 1, "name": "a", "active": False})
+        assert row == (1, "a", False)
+
+    def test_row_from_dict_missing(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.row_from_dict({"id": 1})
+
+    def test_row_from_dict_extra(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.row_from_dict(
+                {"id": 1, "name": "a", "active": False, "zzz": 1}
+            )
+
+    def test_as_dict_roundtrip(self):
+        schema = make_schema()
+        row = (1, "a", True)
+        assert schema.row_from_dict(schema.as_dict(row)) == row
+
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+        other = RelationSchema("emp2", [("id", AttrType.INT)], ["id"])
+        assert make_schema() != other

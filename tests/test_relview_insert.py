@@ -1,0 +1,168 @@
+"""Tests for Algorithm insert: templates, side-effect sweep, SAT, ΔR."""
+
+import pytest
+
+from repro.atg.publisher import publish_store, publish_subtree
+from repro.core.dag_eval import DagXPathEvaluator
+from repro.core.reachability import compute_reach
+from repro.core.topo import TopoOrder
+from repro.core.translate import xinsert
+from repro.errors import UpdateRejectedError
+from repro.relview.insert import translate_insertions
+from repro.views.registry import build_registry
+from repro.views.store import ViewDelta
+from repro.workloads.registrar import build_registrar
+from repro.xpath.parser import parse_xpath
+
+
+@pytest.fixture
+def env():
+    atg, db = build_registrar()
+    registry = build_registry(atg, db)
+    store = publish_store(atg, db)
+    topo = TopoOrder.from_store(store)
+    reach = compute_reach(store, topo)
+    evaluator = DagXPathEvaluator(store, topo, reach)
+    return atg, db, registry, store, evaluator
+
+
+def delta_for_insert(env, path_text, element, sem):
+    atg, db, registry, store, evaluator = env
+    result = evaluator.evaluate(parse_xpath(path_text), mode="insert")
+    subtree = publish_subtree(atg, db, store, element, sem)
+    return xinsert(store, result.targets, subtree)
+
+
+def gained_rows(registry, db, delta_r):
+    before = {v.name: set(v.evaluate(db).rows) for v in registry.views()}
+    db.apply(delta_r)
+    after = {v.name: set(v.evaluate(db).rows) for v in registry.views()}
+    gains = {
+        name: after[name] - before[name] for name in before
+    }
+    losses = {name: before[name] - after[name] for name in before}
+    return gains, losses
+
+
+class TestExistingSubtree:
+    def test_single_edge_tuple(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "course[cno=CS650]/prereq", "course",
+            ("CS500", "Operating Systems"),
+        )
+        plan = translate_insertions(registry, store, db, delta_v)
+        assert [(op.relation, op.row) for op in plan.delta_r] == [
+            ("prereq", ("CS650", "CS500"))
+        ]
+
+    def test_no_side_effect_rows_gained(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "course[cno=CS650]/prereq", "course",
+            ("CS500", "Operating Systems"),
+        )
+        plan = translate_insertions(registry, store, db, delta_v)
+        gains, losses = gained_rows(registry, db, plan.delta_r)
+        assert sum(len(g) for g in gains.values()) == 1
+        assert all(not l for l in losses.values())
+
+    def test_already_derivable_is_noop(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "//course[cno=CS320]/prereq", "course",
+            ("CS240", "Data Structures"),
+        )
+        plan = translate_insertions(registry, store, db, delta_v)
+        assert len(plan.delta_r) == 0
+
+
+class TestNewSubtree:
+    def test_new_course_gets_fresh_dept(self, env):
+        """The side-effect sweep forbids dept='CS' (root view) for a
+        course inserted only as a prerequisite."""
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "course[cno=CS650]/prereq", "course", ("CS901", "New")
+        )
+        plan = translate_insertions(registry, store, db, delta_v)
+        rows = {op.relation: op.row for op in plan.delta_r}
+        assert rows["prereq"] == ("CS650", "CS901")
+        assert rows["course"][0] == "CS901"
+        assert rows["course"][2] != "CS"
+
+    def test_new_course_exact_gain(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "course[cno=CS650]/prereq", "course", ("CS901", "New")
+        )
+        plan = translate_insertions(registry, store, db, delta_v)
+        gains, losses = gained_rows(registry, db, plan.delta_r)
+        assert all(not l for l in losses.values())
+        assert len(gains["edge_prereq_course"]) == 1
+        assert not gains["edge_db_course"]  # the side effect was avoided
+        assert not gains["edge_takenBy_student"]
+
+    def test_root_insert_requires_cs_dept(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(env, ".", "course", ("CS902", "Root"))
+        plan = translate_insertions(registry, store, db, delta_v)
+        rows = {op.relation: op.row for op in plan.delta_r}
+        assert rows["course"] == ("CS902", "Root", "CS")
+
+    def test_new_student_and_enrollment(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "course[cno=CS650]/takenBy", "student", ("S10", "Kay")
+        )
+        plan = translate_insertions(registry, store, db, delta_v)
+        relations = sorted(op.relation for op in plan.delta_r)
+        assert relations == ["enroll", "student"]
+        gains, _ = gained_rows(registry, db, plan.delta_r)
+        assert len(gains["edge_takenBy_student"]) == 1
+
+    def test_conflicting_existing_title_rejected(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "course[cno=CS650]/prereq", "course", ("CS240", "WRONG")
+        )
+        with pytest.raises(UpdateRejectedError):
+            translate_insertions(registry, store, db, delta_v)
+
+    def test_plan_statistics(self, env):
+        atg, db, registry, store, _ = env
+        delta_v = delta_for_insert(
+            env, "course[cno=CS650]/prereq", "course", ("CS903", "Stats")
+        )
+        plan = translate_insertions(registry, store, db, delta_v)
+        assert plan.solver in ("walksat", "dpll", "trivial")
+        assert plan.derivations_checked >= 1
+        assert len(plan.new_templates) == 2  # course + prereq tuples
+
+    def test_solver_modes_agree(self, env):
+        atg, db, registry, store, _ = env
+        for solver in ("walksat", "dpll", "auto"):
+            atg2, db2 = build_registrar()
+            registry2 = build_registry(atg2, db2)
+            store2 = publish_store(atg2, db2)
+            topo2 = TopoOrder.from_store(store2)
+            reach2 = compute_reach(store2, topo2)
+            evaluator2 = DagXPathEvaluator(store2, topo2, reach2)
+            result = evaluator2.evaluate(
+                parse_xpath("course[cno=CS650]/prereq"), mode="insert"
+            )
+            subtree = publish_subtree(
+                atg2, db2, store2, "course", ("CS904", "Solver")
+            )
+            delta_v = xinsert(store2, result.targets, subtree)
+            plan = translate_insertions(
+                registry2, store2, db2, delta_v, solver=solver
+            )
+            gains, losses = gained_rows(registry2, db2, plan.delta_r)
+            assert len(gains["edge_prereq_course"]) == 1
+            assert not gains["edge_db_course"]
+
+    def test_empty_delta(self, env):
+        _, db, registry, store, _ = env
+        plan = translate_insertions(registry, store, db, ViewDelta())
+        assert len(plan.delta_r) == 0

@@ -1,0 +1,117 @@
+"""Tests for SQL generation and the SQLite bridge."""
+
+import pytest
+
+from repro.relational.conditions import And, Col, Const, Eq, Param
+from repro.relational.query import SPJQuery
+from repro.relational.schema import AttrType, RelationSchema
+from repro.relational.sqlgen import (
+    create_table_sql,
+    insert_sql,
+    predicate_sql,
+    select_sql,
+)
+from repro.relational.sqlite_backend import (
+    dump_to_sqlite,
+    load_from_sqlite,
+    run_query_sqlite,
+)
+from repro.views.registry import build_registry
+from repro.workloads.registrar import build_registrar, registrar_schemas
+
+
+class TestSqlGen:
+    def test_create_table(self):
+        schema = RelationSchema(
+            "t",
+            [("a", AttrType.INT), ("b", AttrType.STR), ("c", AttrType.BOOL)],
+            ["a"],
+        )
+        sql = create_table_sql(schema)
+        assert "CREATE TABLE t" in sql
+        assert "a INTEGER NOT NULL" in sql
+        assert "b TEXT NOT NULL" in sql
+        assert "PRIMARY KEY (a)" in sql
+
+    def test_insert_statement(self):
+        schema = RelationSchema("t", [("a", AttrType.INT)], ["a"])
+        assert insert_sql(schema) == "INSERT INTO t (a) VALUES (?)"
+
+    def test_predicate_rendering(self):
+        pred = And(
+            Eq(Col("c", "dept"), Const("CS")),
+            Eq(Col("c", "cno"), Col("p", "cno1")),
+        )
+        sql = predicate_sql(pred)
+        assert "c.dept = 'CS'" in sql
+        assert "c.cno = p.cno1" in sql
+
+    def test_string_escaping(self):
+        sql = predicate_sql(Eq(Col("c", "x"), Const("O'Brien")))
+        assert "'O''Brien'" in sql
+
+    def test_param_binding(self):
+        pred = Eq(Col("p", "cno1"), Param("cno"))
+        sql = predicate_sql(pred, {"cno": "CS650"})
+        assert "'CS650'" in sql
+
+    def test_select_distinct(self):
+        query = SPJQuery(
+            "q",
+            [("course", "c")],
+            [("cno", Col("c", "cno"))],
+            Eq(Col("c", "dept"), Const("CS")),
+        )
+        sql = select_sql(query)
+        assert sql.startswith("SELECT DISTINCT c.cno AS cno")
+        assert "FROM course AS c" in sql
+
+
+class TestSqliteRoundtrip:
+    def test_dump_and_load(self):
+        _, db = build_registrar()
+        conn = dump_to_sqlite(db)
+        back = load_from_sqlite(conn, registrar_schemas())
+        for name in db.table_names():
+            assert sorted(db.rows(name)) == sorted(back.rows(name))
+
+    def test_queries_match_in_memory_engine(self):
+        atg, db = build_registrar()
+        registry = build_registry(atg, db)
+        conn = dump_to_sqlite(db)
+        schemas = {s.name: s for s in registrar_schemas()}
+        for view in registry.views():
+            mine = set(view.query.evaluate(db).rows)
+            theirs = run_query_sqlite(conn, view.query, schemas=schemas)
+            assert mine == theirs, view.name
+
+    def test_parameterized_query_on_sqlite(self):
+        atg, db = build_registrar()
+        rule = [r for r in atg.query_rules() if r.parent == "prereq"][0]
+        conn = dump_to_sqlite(db)
+        rows = run_query_sqlite(conn, rule.query, bindings={"cno": "CS650"})
+        assert rows == {("CS320", "Databases")}
+
+    def test_view_store_persists_to_sqlite(self):
+        """The DAG coding itself (gen/edge tables) round-trips to disk."""
+        from repro.atg.publisher import publish_store
+
+        atg, db = build_registrar()
+        store = publish_store(atg, db)
+        view_db = store.to_database()
+        conn = dump_to_sqlite(view_db)
+        cursor = conn.execute("SELECT COUNT(*) FROM edge_prereq_course")
+        assert cursor.fetchone()[0] == len(store.edges[("prereq", "course")])
+
+    def test_bool_columns_roundtrip(self):
+        from repro.relational.database import Database
+
+        db = Database()
+        schema = RelationSchema(
+            "flags", [("id", AttrType.INT), ("flag", AttrType.BOOL)], ["id"]
+        )
+        db.create_table(schema)
+        db.insert_all("flags", [(1, True), (2, False)])
+        conn = dump_to_sqlite(db)
+        back = load_from_sqlite(conn, [schema])
+        assert back.rows("flags") == [(1, True), (2, False)]

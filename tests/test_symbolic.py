@@ -1,0 +1,78 @@
+"""Unit tests for the symbolic layer behind Algorithm insert."""
+
+import pytest
+
+from repro.relational.schema import AttrType
+from repro.relview.symbolic import (
+    AtomVC,
+    AtomVV,
+    FreshToken,
+    SymVar,
+    Template,
+    make_atom,
+)
+
+
+def var(attr="b", relation="r", key=(1,), attr_type=AttrType.STR):
+    return SymVar(relation, key, attr, attr_type)
+
+
+class TestSymVar:
+    def test_canonical_name(self):
+        v = SymVar("course", ("CS101",), "dept", AttrType.STR)
+        assert v.name == "course.CS101.dept"
+        assert str(v) == v.name
+
+    def test_composite_key_name(self):
+        v = SymVar("prereq", ("A", "B"), "cno1", AttrType.STR)
+        assert v.name == "prereq.A_B.cno1"
+
+    def test_identity_by_fields(self):
+        assert var() == var()
+        assert var(attr="c") != var(attr="b")
+        assert hash(var()) == hash(var())
+
+
+class TestMakeAtom:
+    def test_var_var(self):
+        a, b = var(attr="a"), var(attr="b")
+        atom = make_atom(a, b)
+        assert isinstance(atom, AtomVV)
+        # normalized order regardless of argument order
+        assert make_atom(b, a) == atom
+
+    def test_same_var_is_true(self):
+        assert make_atom(var(), var()) is True
+
+    def test_var_const_both_sides(self):
+        atom1 = make_atom(var(), "x")
+        atom2 = make_atom("x", var())
+        assert atom1 == atom2 == AtomVC(var(), "x")
+
+    def test_const_const(self):
+        assert make_atom("x", "x") is True
+        assert make_atom("x", "y") is False
+
+
+class TestTemplate:
+    def test_variables(self):
+        v = var()
+        t = Template("r", (1,), (1, v, "const"), is_new=True)
+        assert t.variables() == [v]
+
+    def test_instantiate(self):
+        v = var()
+        t = Template("r", (1,), (1, v, "const"), is_new=True)
+        assert t.instantiate({v: "filled"}) == (1, "filled", "const")
+
+    def test_instantiate_missing_var_raises(self):
+        v = var()
+        t = Template("r", (1,), (v,), is_new=True)
+        with pytest.raises(KeyError):
+            t.instantiate({})
+
+
+class TestFreshToken:
+    def test_rendering(self):
+        token = FreshToken(var(), 2)
+        assert "⋆" in str(token)

@@ -1,0 +1,208 @@
+"""Unit tests for the topological order L and Algorithm Reach."""
+
+import networkx as nx
+import pytest
+
+from repro.atg.publisher import publish_store
+from repro.baselines.naive_reach import naive_reachability, squaring_reachability
+from repro.core.reachability import ReachabilityMatrix, compute_reach
+from repro.core.topo import TopoOrder
+from repro.errors import ReproError
+from repro.workloads.registrar import build_registrar
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+
+@pytest.fixture
+def store():
+    atg, db = build_registrar()
+    return publish_store(atg, db)
+
+
+def assert_topo_valid(topo, store):
+    """u precedes v ⇒ u is not an ancestor of v (children first)."""
+    for node in store.nodes():
+        for child in store.children_of(node):
+            assert topo.position(child) < topo.position(node), (
+                f"child {child} after parent {node}"
+            )
+
+
+class TestTopoOrder:
+    def test_from_store_valid(self, store):
+        topo = TopoOrder.from_store(store)
+        assert len(topo) == store.num_nodes
+        assert_topo_valid(topo, store)
+
+    def test_root_last(self, store):
+        topo = TopoOrder.from_store(store)
+        assert topo.as_list()[-1] == store.root_id
+
+    def test_deterministic(self, store):
+        a = TopoOrder.from_store(store).as_list()
+        b = TopoOrder.from_store(store).as_list()
+        assert a == b
+
+    def test_precedes(self, store):
+        topo = TopoOrder.from_store(store)
+        cs320 = store.lookup("course", ("CS320", "Databases"))
+        assert topo.precedes(cs320, store.root_id)
+
+    def test_backward_iteration(self, store):
+        topo = TopoOrder.from_store(store)
+        assert list(topo.backward())[0] == store.root_id
+
+    def test_sort_nodes(self, store):
+        topo = TopoOrder.from_store(store)
+        nodes = list(store.nodes())[:5]
+        ordered = topo.sort_nodes(nodes)
+        positions = [topo.position(n) for n in ordered]
+        assert positions == sorted(positions)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ReproError):
+            TopoOrder([1, 1])
+
+    def test_append_and_remove(self):
+        topo = TopoOrder([1, 2])
+        topo.append(3)
+        assert topo.as_list() == [1, 2, 3]
+        topo.remove(2)
+        assert topo.as_list() == [1, 3]
+        assert topo.position(3) == 1
+
+    def test_insert_front_and_at(self):
+        topo = TopoOrder([1, 2])
+        topo.insert_front(0)
+        assert topo.as_list() == [0, 1, 2]
+        topo.insert_at(9, 2)
+        assert topo.as_list() == [0, 1, 9, 2]
+        assert topo.position(2) == 3
+
+    def test_insert_existing_rejected(self):
+        topo = TopoOrder([1])
+        with pytest.raises(ReproError):
+            topo.append(1)
+
+    def test_unknown_position_rejected(self):
+        with pytest.raises(ReproError):
+            TopoOrder([1]).position(9)
+
+    def test_swap_moves_descendants(self):
+        # L = [d, u, a, v]; edge (u, v) inserted; desc(v) = {d}.
+        topo = TopoOrder([5, 1, 2, 3])  # u=1, v=3, d=5 not in segment
+        moved = topo.swap(1, 3, {5})
+        # segment [1,2,3]: moving = [3], staying = [1,2]
+        assert moved == 1
+        assert topo.as_list() == [5, 3, 1, 2]
+
+    def test_swap_moves_in_segment_descendants(self):
+        topo = TopoOrder([1, 7, 2, 3])  # u=1, v=3, desc(v)={7}
+        moved = topo.swap(1, 3, {7})
+        assert moved == 2
+        assert topo.as_list() == [7, 3, 1, 2]
+
+    def test_swap_noop_when_already_ordered(self):
+        topo = TopoOrder([3, 1])
+        assert topo.swap(1, 3, set()) == 0
+        assert topo.as_list() == [3, 1]
+
+    def test_is_valid_for(self, store):
+        topo = TopoOrder.from_store(store)
+        reach = compute_reach(store, topo)
+        assert topo.is_valid_for(reach.is_ancestor)
+        broken = TopoOrder(list(reversed(topo.as_list())))
+        assert not broken.is_valid_for(reach.is_ancestor)
+
+
+class TestReachabilityMatrix:
+    def test_insert_remove(self):
+        m = ReachabilityMatrix()
+        assert m.insert(1, 2)
+        assert not m.insert(1, 2)
+        assert (1, 2) in m
+        assert m.is_ancestor(1, 2)
+        assert not m.is_ancestor(2, 1)
+        assert len(m) == 1
+        assert m.remove(1, 2)
+        assert not m.remove(1, 2)
+        assert len(m) == 0
+
+    def test_both_directions(self):
+        m = ReachabilityMatrix()
+        m.insert(1, 2)
+        m.insert(1, 3)
+        m.insert(2, 3)
+        assert m.desc(1) == {2, 3}
+        assert m.anc(3) == {1, 2}
+
+    def test_set_ancestors(self):
+        m = ReachabilityMatrix()
+        m.insert(1, 3)
+        m.insert(2, 3)
+        m.set_ancestors(3, {2, 4})
+        assert m.anc(3) == {2, 4}
+        assert m.desc(1) == set()
+        assert m.desc(4) == {3}
+        assert len(m) == 2
+
+    def test_drop_node(self):
+        m = ReachabilityMatrix()
+        m.insert(1, 2)
+        m.insert(2, 3)
+        m.drop_node(2)
+        assert len(m) == 0
+
+    def test_set_helpers(self):
+        m = ReachabilityMatrix()
+        m.insert(1, 2)
+        m.insert(3, 4)
+        assert m.anc_of_set([2, 4]) == {1, 3}
+        assert m.desc_of_set([1, 3]) == {2, 4}
+
+    def test_copy_and_equals(self):
+        m = ReachabilityMatrix()
+        m.insert(1, 2)
+        clone = m.copy()
+        assert m.equals(clone)
+        clone.insert(2, 3)
+        assert not m.equals(clone)
+
+    def test_pairs(self):
+        m = ReachabilityMatrix()
+        m.insert(1, 2)
+        m.insert(1, 3)
+        assert sorted(m.pairs()) == [(1, 2), (1, 3)]
+
+
+class TestAlgorithmReach:
+    def _oracle(self, store):
+        graph = nx.DiGraph()
+        graph.add_nodes_from(store.nodes())
+        for node in store.nodes():
+            for child in store.children_of(node):
+                graph.add_edge(node, child)
+        closure = nx.transitive_closure(graph)
+        return set(closure.edges())
+
+    def test_registrar_matches_networkx(self, store):
+        topo = TopoOrder.from_store(store)
+        reach = compute_reach(store, topo)
+        assert set(reach.pairs()) == self._oracle(store)
+
+    def test_synthetic_matches_networkx(self):
+        dataset = build_synthetic(SyntheticConfig(n_c=80, seed=9))
+        store = publish_store(dataset.atg, dataset.db)
+        topo = TopoOrder.from_store(store)
+        reach = compute_reach(store, topo)
+        assert set(reach.pairs()) == self._oracle(store)
+
+    def test_baselines_agree(self, store):
+        topo = TopoOrder.from_store(store)
+        reach = compute_reach(store, topo)
+        assert reach.equals(naive_reachability(store))
+        assert reach.equals(squaring_reachability(store))
+
+    def test_root_reaches_everything(self, store):
+        topo = TopoOrder.from_store(store)
+        reach = compute_reach(store, topo)
+        assert reach.desc(store.root_id) == set(store.nodes()) - {store.root_id}

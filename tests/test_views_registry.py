@@ -1,0 +1,112 @@
+"""Unit tests for the edge-view SPJ definitions (registry)."""
+
+import pytest
+
+from repro.atg.publisher import publish_store
+from repro.errors import ATGError
+from repro.relview.keypres import is_key_preserving
+from repro.views.registry import build_registry
+from repro.workloads.registrar import build_registrar
+
+
+@pytest.fixture
+def setup():
+    atg, db = build_registrar()
+    registry = build_registry(atg, db)
+    store = publish_store(atg, db)
+    return atg, db, registry, store
+
+
+class TestClosure:
+    def test_one_view_per_starred_edge(self, setup):
+        _, _, registry, _ = setup
+        names = {v.name for v in registry.views()}
+        assert names == {
+            "edge_db_course",
+            "edge_prereq_course",
+            "edge_takenBy_student",
+        }
+
+    def test_projection_edges_have_no_view(self, setup):
+        _, _, registry, _ = setup
+        assert not registry.has_view("course", "cno")
+        with pytest.raises(ATGError):
+            registry.view("course", "cno")
+
+    def test_views_are_key_preserving(self, setup):
+        _, db, registry, _ = setup
+        for view in registry.views():
+            assert is_key_preserving(view.query, db)
+
+    def test_param_columns_projected_first(self, setup):
+        _, _, registry, _ = setup
+        view = registry.view("prereq", "course")
+        assert view.param_names == ("cno",)
+        assert view.query.output_names[0] == "p_cno"
+
+    def test_key_layout(self, setup):
+        _, _, registry, _ = setup
+        view = registry.view("prereq", "course")
+        assert set(view.key_layout) == {"p", "c"}
+        relation, slots = view.key_layout["p"]
+        assert relation == "prereq"
+        assert [attr for _, attr in slots] == ["cno1", "cno2"]
+
+    def test_base_relations(self, setup):
+        _, _, registry, _ = setup
+        assert registry.base_relations() == {"course", "prereq", "enroll", "student"}
+
+
+class TestEvaluation:
+    def test_edges_match_store(self, setup):
+        _, db, registry, store = setup
+        view = registry.view("prereq", "course")
+        result = view.evaluate(db)
+        visible = {view.visible(row) for row in result.rows}
+        # All derivable edges, including under non-CS parents.
+        assert (("CS650",), ("CS320", "Databases")) in visible
+        assert (("CS320",), ("CS240", "Data Structures")) in visible
+
+    def test_matching_rows_point_query(self, setup):
+        _, db, registry, _ = setup
+        view = registry.view("prereq", "course")
+        rows = view.matching_rows(db, ("CS650",), ("CS320", "Databases"))
+        assert len(rows) == 1
+        assert view.source_key(rows[0], "p") == ("CS650", "CS320")
+        assert view.source_key(rows[0], "c") == ("CS320",)
+
+    def test_matching_rows_absent_edge(self, setup):
+        _, db, registry, _ = setup
+        view = registry.view("prereq", "course")
+        assert view.matching_rows(db, ("CS650",), ("CS240", "Data Structures")) == []
+
+    def test_rows_referencing_base_tuple(self, setup):
+        _, db, registry, _ = setup
+        view = registry.view("takenBy", "student")
+        rows = view.rows_referencing(db, "s", ("S02",))
+        # S02 enrolled in CS320 and CS500: two view rows reference it.
+        assert len(rows) == 2
+
+    def test_sources(self, setup):
+        _, db, registry, _ = setup
+        view = registry.view("takenBy", "student")
+        rows = view.rows_referencing(db, "s", ("S01",))
+        sources = view.sources(rows[0])
+        assert ("enroll", "e", ("S01", "CS650")) in sources
+        assert ("student", "s", ("S01",)) in sources
+
+    def test_visible_split(self, setup):
+        _, db, registry, _ = setup
+        view = registry.view("db", "course")
+        result = view.evaluate(db)
+        for row in result.rows:
+            params, child = view.visible(row)
+            assert params == ()
+            assert len(child) == 2
+
+    def test_root_view_filters_department(self, setup):
+        _, db, registry, _ = setup
+        view = registry.view("db", "course")
+        children = {view.visible(r)[1][0] for r in view.evaluate(db).rows}
+        assert "MA100" not in children
+        assert children == {"CS650", "CS500", "CS320", "CS240"}

@@ -1,0 +1,134 @@
+"""Tests for the dataset generators and update workloads."""
+
+import pytest
+
+from repro.atg.publisher import publish_store
+from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.workloads.bom import build_bom
+from repro.workloads.queries import make_workload
+from repro.workloads.registrar import build_registrar
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+
+class TestRegistrar:
+    def test_instance_shape(self):
+        _, db = build_registrar()
+        assert len(db.table("course")) == 5
+        assert len(db.table("prereq")) == 2
+        assert len(db.table("enroll")) == 4
+
+    def test_unpopulated(self):
+        _, db = build_registrar(populate=False)
+        assert db.size() == 0
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self, small_synthetic):
+        again = build_synthetic(SyntheticConfig(n_c=120, seed=3))
+        for name in ("C", "F", "H"):
+            assert sorted(small_synthetic.db.rows(name)) == sorted(
+                again.db.rows(name)
+            )
+
+    def test_sizes_per_paper(self, small_synthetic):
+        db = small_synthetic.db
+        n = small_synthetic.config.n_c
+        assert len(db.table("C")) == n
+        assert len(db.table("F")) == n  # |F| = |C|
+        # |H| ≈ 3|C| minus bottom layer (leaves have no outgoing edges).
+        assert len(db.table("H")) > n
+
+    def test_h_is_acyclic_by_construction(self, small_synthetic):
+        for h1, h2 in small_synthetic.db.rows("H"):
+            assert h1 < h2  # paper: h1 < h2
+
+    def test_pass_rate_controls_filter(self, small_synthetic):
+        ds = small_synthetic
+        n = ds.config.n_c
+        assert 0.5 * n < len(ds.passing) < n
+
+    def test_seed_changes_data(self):
+        a = build_synthetic(SyntheticConfig(n_c=60, seed=1))
+        b = build_synthetic(SyntheticConfig(n_c=60, seed=2))
+        assert sorted(a.db.rows("H")) != sorted(b.db.rows("H"))
+
+    def test_published_view_respects_filter(self, small_synthetic):
+        ds = small_synthetic
+        store = publish_store(ds.atg, ds.db)
+        published = {
+            store.sem_of(n)[0]
+            for n in store.nodes()
+            if store.type_of(n) == "cnode"
+        }
+        assert published <= ds.passing
+
+    def test_sharing_present(self, small_synthetic):
+        ds = small_synthetic
+        store = publish_store(ds.atg, ds.db)
+        cnodes = [n for n in store.nodes() if store.type_of(n) == "cnode"]
+        shared = sum(1 for n in cnodes if store.in_degree(n) > 1)
+        assert shared > 0
+
+    def test_tiny_config_clamps_layers(self):
+        config = SyntheticConfig(n_c=6)
+        assert config.layers <= 3
+        build_synthetic(config)  # must not crash
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("cls", ["W1", "W2", "W3"])
+    def test_delete_workload_shapes(self, small_synthetic, cls):
+        ops = make_workload(small_synthetic, "delete", cls, count=5)
+        assert 0 < len(ops) <= 5
+        for op in ops:
+            assert op.kind == "delete" and op.cls == cls
+            if cls == "W1":
+                assert "//" in op.path
+            if cls == "W3":
+                assert "sub/cnode" in op.path  # structural filter
+
+    @pytest.mark.parametrize("cls", ["W1", "W2", "W3"])
+    def test_insert_workload_shapes(self, small_synthetic, cls):
+        ops = make_workload(small_synthetic, "insert", cls, count=5)
+        for op in ops:
+            assert op.kind == "insert"
+            assert op.path.endswith("/sub")
+            assert op.element == "cnode"
+            assert op.sem is not None
+
+    def test_deterministic(self, small_synthetic):
+        a = make_workload(small_synthetic, "delete", "W1", count=5, seed=9)
+        b = make_workload(small_synthetic, "delete", "W1", count=5, seed=9)
+        assert a == b
+
+    def test_unknown_class_rejected(self, small_synthetic):
+        with pytest.raises(ValueError):
+            make_workload(small_synthetic, "delete", "W9")
+
+    def test_unknown_kind_rejected(self, small_synthetic):
+        with pytest.raises(ValueError):
+            make_workload(small_synthetic, "replace", "W1")
+
+    def test_delete_workloads_select_nodes(self, synthetic_updater):
+        updater, dataset = synthetic_updater
+        for cls in ("W1", "W2", "W3"):
+            ops = make_workload(dataset, "delete", cls, count=3)
+            for op in ops:
+                result = updater.evaluate_xpath(op.path)
+                assert result.targets, f"{cls} path selects nothing: {op.path}"
+
+
+class TestBOM:
+    def test_structure(self):
+        atg, db = build_bom()
+        assert len(db.table("part")) > 10
+        updater = XMLViewUpdater(atg, db)
+        assert updater.check_consistency() == []
+
+    def test_catalog_lists_assemblies_only(self):
+        atg, db = build_bom()
+        store = publish_store(atg, db)
+        roots = store.children_of(store.root_id)
+        for node in roots:
+            pid = store.sem_of(node)[0]
+            assert db.table("part").get((pid,))[2] == "assembly"

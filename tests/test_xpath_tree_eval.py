@@ -1,0 +1,109 @@
+"""Unit tests for the reference tree evaluator."""
+
+import pytest
+
+from repro.xmltree.tree import XMLNode
+from repro.xpath.parser import parse_xpath
+from repro.xpath.tree_eval import evaluate_on_tree, evaluate_on_tree_with_parents
+
+
+def leaf(tag, text):
+    return XMLNode(tag, (text,), text=text)
+
+
+@pytest.fixture
+def tree():
+    """db -> a(x=1), a(x=2) -> b(y=1); second a nests another a(x=1)."""
+    a1 = XMLNode("a", ("1",), [leaf("x", "1")])
+    b = XMLNode("b", ("1",), [leaf("y", "1")])
+    a_inner = XMLNode("a", ("1i",), [leaf("x", "1")])
+    a2 = XMLNode("a", ("2",), [leaf("x", "2"), b, a_inner])
+    return XMLNode("db", (), [a1, a2])
+
+
+def tags(nodes):
+    return [n.tag for n in nodes]
+
+
+class TestSteps:
+    def test_child_step(self, tree):
+        assert tags(evaluate_on_tree(parse_xpath("a"), tree)) == ["a", "a"]
+
+    def test_chained_child_steps(self, tree):
+        assert tags(evaluate_on_tree(parse_xpath("a/b"), tree)) == ["b"]
+
+    def test_wildcard(self, tree):
+        assert tags(evaluate_on_tree(parse_xpath("a/*"), tree)) == [
+            "x", "x", "b", "a",
+        ]
+
+    def test_descendant_includes_self(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("//a"), tree)
+        assert len(nodes) == 3  # a1, a2 and the nested a
+
+    def test_descendant_from_middle(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("a//x"), tree)
+        assert len(nodes) == 3
+
+    def test_empty_path_selects_root(self, tree):
+        assert evaluate_on_tree(parse_xpath("."), tree) == [tree]
+
+    def test_no_match(self, tree):
+        assert evaluate_on_tree(parse_xpath("zzz"), tree) == []
+
+
+class TestFilters:
+    def test_value_filter(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("a[x=2]"), tree)
+        assert len(nodes) == 1 and nodes[0].sem == ("2",)
+
+    def test_value_filter_no_match(self, tree):
+        assert evaluate_on_tree(parse_xpath("a[x=99]"), tree) == []
+
+    def test_exists_filter(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("a[b]"), tree)
+        assert len(nodes) == 1 and nodes[0].sem == ("2",)
+
+    def test_not_filter(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("a[not(b)]"), tree)
+        assert len(nodes) == 1 and nodes[0].sem == ("1",)
+
+    def test_and_filter(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("a[b and x=2]"), tree)
+        assert len(nodes) == 1
+
+    def test_or_filter(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("a[x=1 or x=2]"), tree)
+        assert len(nodes) == 2
+
+    def test_label_test(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("*[label()=a]"), tree)
+        assert tags(nodes) == ["a", "a"]
+
+    def test_filter_with_descendant(self, tree):
+        nodes = evaluate_on_tree(parse_xpath("a[//x=1]"), tree)
+        # a2 contains the nested a whose x=1
+        assert len(nodes) == 2
+
+    def test_self_value_filter(self, tree):
+        nodes = evaluate_on_tree(parse_xpath('a/x[.="2"]'), tree)
+        assert len(nodes) == 1
+
+
+class TestParents:
+    def test_parent_edges(self, tree):
+        nodes, edges = evaluate_on_tree_with_parents(parse_xpath("a/b"), tree)
+        assert len(edges) == 1
+        parent, child = edges[0]
+        assert parent.sem == ("2",) and child.tag == "b"
+
+    def test_root_has_no_parent(self, tree):
+        _, edges = evaluate_on_tree_with_parents(parse_xpath("."), tree)
+        assert edges == [(None, tree)]
+
+    def test_descendant_parents(self, tree):
+        nodes, edges = evaluate_on_tree_with_parents(
+            parse_xpath("//x"), tree
+        )
+        assert len(nodes) == 3
+        assert all(parent is not None for parent, _ in edges)
