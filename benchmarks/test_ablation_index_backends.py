@@ -1,0 +1,163 @@
+"""Ablation: reachability-index backends on the Fig. 11 workloads.
+
+Compares the reference ``sets`` backend against the ``bitset`` backend
+on (a) Algorithm Reach (``compute_reach``) over the paper's largest
+Fig. 11 configuration and (b) the Δ(M,L) maintenance phase across the
+W1–W3 deletion and insertion classes, then checks the tentpole claim:
+``compute_reach`` + maintenance is at least 3× faster with bitmask rows.
+
+Also measures batched update sessions (one deferred maintenance pass for
+N updates) against sequential per-update maintenance.
+
+All timings land in ``BENCH_index.json`` via ``conftest.record_bench``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import OPS_PER_CLASS, SIZES, fresh_updater, record_bench
+
+from repro.index import BACKENDS, build_index
+from repro.relview.insert import reset_fresh_counter
+from repro.workloads.queries import make_workload
+
+#: |C| of the largest Fig. 11 configuration (bench/experiments.py
+#: DEFAULT_SIZES); big enough that M rows span many machine words.
+LARGEST_FIG11_NC = 3000
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def _measure_backend(backend: str) -> dict:
+    """Build + maintenance timings for one backend on the largest config."""
+    reset_fresh_counter()  # identical fresh constants per backend run
+    updater, dataset = fresh_updater(LARGEST_FIG11_NC, index_backend=backend)
+    store, topo = updater.store, updater.topo
+
+    build_seconds = min(
+        _timed(lambda: build_index(store, topo, backend)) for _ in range(3)
+    )
+
+    maintain_seconds = 0.0
+    ops = accepted = 0
+    for cls in ("W1", "W2", "W3"):
+        for op in make_workload(dataset, "delete", cls, count=OPS_PER_CLASS):
+            outcome = updater.delete(op.path)
+            maintain_seconds += outcome.timings.get("maintain", 0.0)
+            ops += 1
+            accepted += outcome.accepted
+        for op in make_workload(dataset, "insert", cls, count=3):
+            outcome = updater.insert(op.path, op.element, op.sem)
+            maintain_seconds += outcome.timings.get("maintain", 0.0)
+            ops += 1
+            accepted += outcome.accepted
+    return {
+        "build": build_seconds,
+        "maintain": maintain_seconds,
+        "ops": ops,
+        "accepted": accepted,
+        "updater": updater,
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.perf
+def test_bitset_speedup_on_largest_fig11_config():
+    results = {b: _measure_backend(b) for b in ALL_BACKENDS}
+    for backend, res in results.items():
+        record_bench(
+            "fig11_largest",
+            backend,
+            "compute_reach",
+            res["build"],
+            n_c=LARGEST_FIG11_NC,
+        )
+        record_bench(
+            "fig11_largest",
+            backend,
+            "maintain",
+            res["maintain"],
+            n_c=LARGEST_FIG11_NC,
+            ops=res["ops"],
+        )
+
+    sets_res, bits_res = results["sets"], results["bitset"]
+    # Identical workload behavior and identical final M across backends.
+    assert sets_res["ops"] == bits_res["ops"]
+    assert sets_res["accepted"] == bits_res["accepted"] > 0
+    assert sets_res["updater"].reach.equals(bits_res["updater"].reach)
+
+    sets_total = sets_res["build"] + sets_res["maintain"]
+    bits_total = bits_res["build"] + bits_res["maintain"]
+    ratio = sets_total / bits_total
+    record_bench(
+        "fig11_largest", "bitset", "speedup_vs_sets", 0.0, ratio=round(ratio, 2)
+    )
+    assert ratio >= 3.0, (
+        f"bitset compute_reach+maintenance only {ratio:.2f}x faster "
+        f"(sets {sets_total:.4f}s vs bitset {bits_total:.4f}s)"
+    )
+
+
+def test_backends_equal_on_benchmark_sizes():
+    """Cheap guard at the pytest-benchmark sizes: same M either way."""
+    for n_c in SIZES:
+        updaters = {}
+        for backend in ALL_BACKENDS:
+            reset_fresh_counter()
+            updater, dataset = fresh_updater(n_c, index_backend=backend)
+            for op in make_workload(dataset, "delete", "W2", count=3):
+                updater.delete(op.path)
+            updaters[backend] = updater
+        a, b = (updaters[n] for n in ALL_BACKENDS)
+        assert a.reach.equals(b.reach)
+
+
+@pytest.mark.perf
+def test_batch_session_amortizes_maintenance():
+    """One deferred pass for N deletions: same state, fewer repairs."""
+    n_c = SIZES[-1]
+    ops = None
+
+    reset_fresh_counter()
+    sequential, dataset = fresh_updater(n_c)
+    ops = [
+        op
+        for cls in ("W1", "W2", "W3")
+        for op in make_workload(dataset, "delete", cls, count=OPS_PER_CLASS)
+    ]
+    seq_maintain = 0.0
+    for op in ops:
+        seq_maintain += sequential.delete(op.path).timings.get("maintain", 0.0)
+
+    reset_fresh_counter()
+    batched, _ = fresh_updater(n_c)
+    runs_before = batched.maintenance_runs
+    with batched.batch() as session:
+        for op in ops:
+            batched.delete(op.path)
+    batch_maintain = session.report.seconds
+
+    assert batched.maintenance_runs - runs_before == 1
+    assert session.report.maintenance_passes == 1
+    assert batched.reach.equals(sequential.reach)
+
+    backend = batched.index_backend
+    record_bench(
+        "batch_sessions", backend, "sequential_maintain", seq_maintain,
+        n_c=n_c, ops=len(ops),
+    )
+    record_bench(
+        "batch_sessions", backend, "batched_maintain", batch_maintain,
+        n_c=n_c, ops=len(ops), passes=1,
+    )
+    # The single pass must not cost more than the N sequential passes
+    # (generous slack: the win is structural, the guard is anti-regression).
+    assert batch_maintain <= seq_maintain * 1.25

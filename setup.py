@@ -1,5 +1,10 @@
-"""Legacy setup shim: enables `pip install -e .` where the environment
-lacks the `wheel` package needed for PEP 660 editable installs."""
+"""Legacy setup shim for offline environments.
+
+Package metadata lives in ``pyproject.toml``; normal installs should use
+``pip install -e .``.  This shim keeps ``python setup.py develop``
+working where the ``wheel`` package needed for PEP 660 editable installs
+is unavailable (e.g. network-less containers).
+"""
 
 from setuptools import setup
 

@@ -25,10 +25,18 @@ from repro.core import (
     SideEffectPolicy,
     TopoOrder,
     UpdateOutcome,
+    UpdateSession,
     XMLViewUpdater,
     compute_reach,
 )
 from repro.dtd import DTD, parse_dtd
+from repro.index import (
+    BitsetReachabilityIndex,
+    ReachabilityIndex,
+    SetReachabilityIndex,
+    build_index,
+    make_index,
+)
 from repro.errors import (
     ReproError,
     SideEffectError,
@@ -44,7 +52,7 @@ from repro.relational import (
 from repro.views import ViewStore, build_registry
 from repro.xpath import parse_xpath
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "ATG",
@@ -57,8 +65,14 @@ __all__ = [
     "SideEffectPolicy",
     "TopoOrder",
     "UpdateOutcome",
+    "UpdateSession",
     "XMLViewUpdater",
     "compute_reach",
+    "ReachabilityIndex",
+    "SetReachabilityIndex",
+    "BitsetReachabilityIndex",
+    "build_index",
+    "make_index",
     "DTD",
     "parse_dtd",
     "ReproError",

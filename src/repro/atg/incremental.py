@@ -33,9 +33,9 @@ from dataclasses import dataclass, field
 from repro.atg.model import ATG
 from repro.atg.publisher import publish_subtree
 from repro.core.maintenance import maintain_delete, maintain_insert
-from repro.core.reachability import ReachabilityMatrix
 from repro.core.topo import TopoOrder
 from repro.errors import ReproError
+from repro.index import ReachabilityIndex
 from repro.relational.database import Database, RelationalDelta
 from repro.views.registry import EdgeView, EdgeViewRegistry
 from repro.views.store import ViewStore
@@ -59,7 +59,7 @@ def propagate_base_update(
     db: Database,
     store: ViewStore,
     topo: TopoOrder,
-    reach: ReachabilityMatrix,
+    reach: ReachabilityIndex,
     delta_r: RelationalDelta,
 ) -> PropagationReport:
     """Apply ``ΔR`` to ``db`` and synchronize the view incrementally."""

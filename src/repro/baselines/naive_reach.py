@@ -12,13 +12,15 @@ Two comparators for the A-1 ablation:
 
 from __future__ import annotations
 
-from repro.core.reachability import ReachabilityMatrix
+from repro.index import ReachabilityIndex, make_index
 from repro.views.store import ViewStore
 
 
-def naive_reachability(store: ViewStore) -> ReachabilityMatrix:
+def naive_reachability(
+    store: ViewStore, backend: str = "sets"
+) -> ReachabilityIndex:
     """Per-node DFS: recomputes each descendant set from scratch."""
-    matrix = ReachabilityMatrix()
+    matrix = make_index(backend)
     for start in sorted(store.nodes()):
         seen: set[int] = set()
         stack = list(store.children_of(start))
@@ -33,7 +35,9 @@ def naive_reachability(store: ViewStore) -> ReachabilityMatrix:
     return matrix
 
 
-def squaring_reachability(store: ViewStore) -> ReachabilityMatrix:
+def squaring_reachability(
+    store: ViewStore, backend: str = "sets"
+) -> ReachabilityIndex:
     """Semi-naive closure: compose the frontier with the edge relation."""
     desc: dict[int, set[int]] = {
         node: set(store.children_of(node)) for node in store.nodes()
@@ -52,7 +56,7 @@ def squaring_reachability(store: ViewStore) -> ReachabilityMatrix:
         if not new_frontier:
             break
         frontier = new_frontier
-    matrix = ReachabilityMatrix()
+    matrix = make_index(backend)
     for node, reached in desc.items():
         for target in reached:
             matrix.insert(node, target)

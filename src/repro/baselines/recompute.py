@@ -5,8 +5,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.reachability import ReachabilityMatrix, compute_reach
 from repro.core.topo import TopoOrder
+from repro.index import ReachabilityIndex, build_index
 from repro.views.store import ViewStore
 
 
@@ -17,18 +17,20 @@ class RecomputeTimings:
     topo_seconds: float
     reach_seconds: float
     topo: TopoOrder
-    reach: ReachabilityMatrix
+    reach: ReachabilityIndex
 
     @property
     def total_seconds(self) -> float:
         return self.topo_seconds + self.reach_seconds
 
 
-def recompute_structures(store: ViewStore) -> RecomputeTimings:
+def recompute_structures(
+    store: ViewStore, index_backend: str = "sets"
+) -> RecomputeTimings:
     """Rebuild ``L`` then ``M`` from the current store, timing each."""
     t0 = time.perf_counter()
     topo = TopoOrder.from_store(store)
     t1 = time.perf_counter()
-    reach = compute_reach(store, topo)
+    reach = build_index(store, topo, index_backend)
     t2 = time.perf_counter()
     return RecomputeTimings(t1 - t0, t2 - t1, topo, reach)

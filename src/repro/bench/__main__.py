@@ -30,10 +30,13 @@ def _write_csv(directory: str | None, name: str, rows: list[dict]) -> None:
             writer.writerow(row)
 
 
-def main(argv: list[str]) -> int:
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:  # console-script entry point
+        argv = sys.argv[1:]
     from repro.bench.experiments import (
         ablation_chain_depth,
         ablation_dag_vs_tree,
+        ablation_index_backends,
         ablation_minimal_delete,
         ablation_reach,
         fig10b_dataset_stats,
@@ -77,6 +80,12 @@ def main(argv: list[str]) -> int:
     )
     print()
     _write_csv(csv_dir, "ablation_reach", ablation_reach(sizes=sizes[:2]))
+    print()
+    _write_csv(
+        csv_dir,
+        "ablation_index_backends",
+        ablation_index_backends(sizes=sizes[:2], ops=max(3, ops // 2)),
+    )
     print()
     _write_csv(
         csv_dir, "ablation_dag_vs_tree", ablation_dag_vs_tree(sizes=sizes[:2])

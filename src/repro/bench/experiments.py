@@ -19,6 +19,7 @@ from repro.bench.harness import PhaseAccumulator, format_table
 from repro.core.reachability import compute_reach
 from repro.core.topo import TopoOrder
 from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.index import BACKENDS, build_index
 from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.relview.minimal import minimal_deletion_exact, minimal_deletion_greedy
 from repro.workloads.queries import make_workload
@@ -28,7 +29,9 @@ DEFAULT_SIZES = (300, 1000, 3000)
 CLASSES = ("W1", "W2", "W3")
 
 
-def _updater_for(n_c: int, seed: int = 42) -> tuple[XMLViewUpdater, object]:
+def _updater_for(
+    n_c: int, seed: int = 42, index_backend: str = "auto"
+) -> tuple[XMLViewUpdater, object]:
     dataset = build_synthetic(SyntheticConfig(n_c=n_c, seed=seed))
     updater = XMLViewUpdater(
         dataset.atg,
@@ -36,6 +39,7 @@ def _updater_for(n_c: int, seed: int = 42) -> tuple[XMLViewUpdater, object]:
         side_effect_policy=SideEffectPolicy.PROPAGATE,
         strict=False,
         sat_solver="auto",
+        index_backend=index_backend,
     )
     return updater, dataset
 
@@ -412,6 +416,53 @@ def ablation_reach(
                 ["|C|", "Reach (s)", "semi-naive (s)", "|M|"],
                 [[r["C"], r["reach_s"], r["squaring_s"], r["pairs"]] for r in rows],
                 title="A-1: Algorithm Reach vs semi-naive closure",
+            )
+        )
+    return rows
+
+
+def ablation_index_backends(
+    sizes: Sequence[int] = (300, 1000),
+    ops: int = 5,
+    print_report: bool = True,
+) -> list[dict]:
+    """A-5: reachability-index backends (sets vs bitset rows).
+
+    Per |C| and backend: Algorithm Reach build time, maintenance time
+    over a W1–W3 deletion workload, and the resulting |M| (identical by
+    construction — the cross-backend tests enforce it).
+    """
+    rows = []
+    for n_c in sizes:
+        for backend in sorted(BACKENDS):
+            updater, dataset = _updater_for(n_c, index_backend=backend)
+            t0 = time.perf_counter()
+            reach = build_index(updater.store, updater.topo, backend)
+            t1 = time.perf_counter()
+            maintain = 0.0
+            for cls in CLASSES:
+                for op in make_workload(dataset, "delete", cls, count=ops):
+                    outcome = updater.delete(op.path)
+                    maintain += outcome.timings.get("maintain", 0.0)
+            rows.append(
+                {
+                    "C": n_c,
+                    "backend": backend,
+                    "reach_s": t1 - t0,
+                    "maintain_s": maintain,
+                    "pairs": len(reach),
+                }
+            )
+    if print_report:
+        print(
+            format_table(
+                ["|C|", "backend", "Reach (s)", "maintain (s)", "|M|"],
+                [
+                    [r["C"], r["backend"], r["reach_s"], r["maintain_s"],
+                     r["pairs"]]
+                    for r in rows
+                ],
+                title="A-5: reachability-index backends",
             )
         )
     return rows

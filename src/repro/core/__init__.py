@@ -20,7 +20,13 @@ from repro.core.reachability import ReachabilityMatrix, compute_reach
 from repro.core.dag_eval import DagXPathEvaluator, EvalResult
 from repro.core.translate import xinsert, xdelete
 from repro.core.maintenance import maintain_insert, maintain_delete
-from repro.core.updater import XMLViewUpdater, UpdateOutcome, SideEffectPolicy
+from repro.core.updater import (
+    BatchReport,
+    SideEffectPolicy,
+    UpdateOutcome,
+    UpdateSession,
+    XMLViewUpdater,
+)
 
 __all__ = [
     "TopoOrder",
@@ -34,5 +40,7 @@ __all__ = [
     "maintain_delete",
     "XMLViewUpdater",
     "UpdateOutcome",
+    "UpdateSession",
+    "BatchReport",
     "SideEffectPolicy",
 ]

@@ -38,8 +38,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.reachability import ReachabilityMatrix
 from repro.core.topo import TopoOrder
+from repro.index import ReachabilityIndex
 from repro.views.store import ViewStore
 from repro.xpath.ast import (
     DescendantStep,
@@ -82,10 +82,19 @@ class EvalResult:
 
 
 class DagXPathEvaluator:
-    """Evaluator bound to one (store, topo, reachability) triple."""
+    """Evaluator bound to one (store, topo, reachability) triple.
+
+    ``reach`` may be ``None`` when the reachability index is stale or
+    absent (batched update sessions defer its repair): descendant
+    regions are then computed by walking the store's edges instead of
+    reading ``M`` rows — same results, higher per-query cost.
+    """
 
     def __init__(
-        self, store: ViewStore, topo: TopoOrder, reach: ReachabilityMatrix
+        self,
+        store: ViewStore,
+        topo: TopoOrder,
+        reach: ReachabilityIndex | None,
     ):
         self.store = store
         self.topo = topo
@@ -223,9 +232,10 @@ class DagXPathEvaluator:
                 # Mark pass-through so side-effect walk can skip the level.
                 self._regions.pop(index, None)
             elif isinstance(step, DescendantStep):
-                region: set[int] = set(prev_set)
-                for u in previous:
-                    region |= self.reach.desc(u)
+                if self.reach is not None:
+                    region = prev_set | self.reach.desc_of_set(previous)
+                else:
+                    region = prev_set | self.store.descendants_of(previous)
                 self._regions[index] = region
                 ordered = self.topo.sort_nodes(region)
                 ordered.reverse()  # ancestors first: document-like order

@@ -4,7 +4,10 @@ Both algorithms run "in the background" in the paper's framework: they do
 not gate the user-visible update, but the structures must be consistent
 before the next update is processed.  The updater invokes them right
 after applying ``ΔV`` and times them separately (the benchmarks report
-this phase on its own, as the paper's plots do).
+this phase on its own, as the paper's plots do).  Batched update
+sessions (:meth:`repro.core.updater.XMLViewUpdater.batch`) call the
+split-out pieces instead: ``L`` placement eagerly per update, one
+deferred ``M`` repair for the whole batch.
 
 **Δ(M,L)insert** (after ``insert (A, t) into p``):
 
@@ -16,6 +19,11 @@ this phase on its own, as the paper's plots do).
    children (children-first processing makes this safe), then the new
    connecting edges ``(u, r_A)`` are repaired with ``swap`` exactly as in
    the paper (lines 12–13).
+
+All ``M`` writes go through the bulk operations of the pluggable
+:class:`~repro.index.ReachabilityIndex` (``extend_ancestors``,
+``add_cross_pairs``, ``retain_ancestors``), so each backend executes
+them natively — the bitset backend does whole rows per machine word.
 
 **Δ(M,L)delete** (after ``delete p``, with ``ΔV`` already applied):
 
@@ -32,8 +40,8 @@ from dataclasses import dataclass, field
 
 from repro.atg.publisher import SubtreeResult
 from repro.core.dag_eval import EvalResult
-from repro.core.reachability import ReachabilityMatrix
 from repro.core.topo import TopoOrder
+from repro.index import ReachabilityIndex
 from repro.views.store import ViewDelta, ViewStore
 
 
@@ -55,22 +63,17 @@ class DeleteMaintenance:
     removed_nodes: list[int] = field(default_factory=list)
 
 
-def maintain_insert(
-    store: ViewStore,
-    topo: TopoOrder,
-    reach: ReachabilityMatrix,
-    subtree: SubtreeResult,
-    targets: list[int],
-) -> InsertMaintenance:
-    """Algorithm Δ(M,L)insert.  Call *after* ``store.apply(ΔV)``."""
-    report = InsertMaintenance()
-    st_nodes = subtree.all_nodes
+def place_new_nodes(
+    store: ViewStore, topo: TopoOrder, subtree: SubtreeResult
+) -> int:
+    """The ``L`` placement step of Δ(M,L)insert: slot the new nodes in.
 
-    # -- L: place the new nodes -------------------------------------------------
-    # The subtree may be a DAG with diamonds, so creation order is not
-    # reliably children-first; compute a children-first order over the
-    # new nodes (Kahn on the new-node subgraph) and place each node
-    # immediately after its highest-positioned child.
+    The subtree may be a DAG with diamonds, so creation order is not
+    reliably children-first; compute a children-first order over the
+    new nodes (Kahn on the new-node subgraph) and place each node
+    immediately after its highest-positioned child.  Returns the number
+    of nodes placed.
+    """
     new_set = set(subtree.new_nodes)
     pending = {
         node: sum(1 for c in store.children_of(node) if c in new_set)
@@ -97,42 +100,77 @@ def maintain_insert(
             topo.insert_at(node, pos + 1)
         else:
             topo.insert_front(node)
-        report.placed_nodes += 1
+    return len(placed_order)
 
-    # -- ΔM part 1: reachability inside ST(A, t) --------------------------------
+
+def insert_pairs(
+    store: ViewStore,
+    topo: TopoOrder,
+    reach: ReachabilityIndex,
+    subtree: SubtreeResult,
+    targets: list[int],
+) -> int:
+    """The ``ΔM`` steps of Δ(M,L)insert; returns pairs added.
+
+    Precondition: the subtree's nodes are already placed in ``topo``
+    (:func:`place_new_nodes`).
+    """
+    st_nodes = subtree.all_nodes
+    added = 0
+
+    # -- part 1: reachability inside ST(A, t) -----------------------------------
     # Localized Reach over the subtree DAG: ancestors-first order.
-    local_order = [n for n in topo.backward() if n in st_nodes]
-    for node in local_order:
-        ancestors: set[int] = set()
-        for parent in store.parents_of(node):
-            if parent in st_nodes:
-                ancestors.add(parent)
-                ancestors |= reach.anc(parent)
-        for anc in ancestors:
-            if reach.insert(anc, node):
-                report.added_pairs += 1
+    for node in reversed(topo.sort_nodes(st_nodes)):
+        added += reach.extend_ancestors(
+            node, (p for p in store.parents_of(node) if p in st_nodes)
+        )
 
-    # -- ΔM part 2: anc*(r[[p]]) × ST nodes --------------------------------------
-    upper: set[int] = set(targets)
-    for target in targets:
-        upper |= reach.anc(target)
-    for anc in upper:
-        for node in st_nodes:
-            if reach.insert(anc, node):
-                report.added_pairs += 1
+    # -- part 2: anc*(r[[p]]) × ST nodes ------------------------------------------
+    added += reach.add_anc_closure_pairs(targets, st_nodes)
+    return added
 
-    # -- L: repair for the connecting edges (u, r_A) ------------------------------
-    desc_root = reach.desc(subtree.root) | {subtree.root}
+
+def repair_topo_after_insert(
+    topo: TopoOrder,
+    subtree: SubtreeResult,
+    targets: list[int],
+    desc_root,
+) -> int:
+    """Repair ``L`` for the connecting edges ``(u, r_A)`` via ``swap``.
+
+    ``desc_root`` is any membership container over the *proper*
+    descendants of the subtree root (an ``M`` row view after the pair
+    update, or a store walk when ``M`` repair is deferred).  Returns the
+    number of nodes moved.
+    """
+    moved = 0
     for target in targets:
         if topo.position(target) < topo.position(subtree.root):
-            report.moved_nodes += topo.swap(target, subtree.root, desc_root)
+            moved += topo.swap(target, subtree.root, desc_root)
+    return moved
+
+
+def maintain_insert(
+    store: ViewStore,
+    topo: TopoOrder,
+    reach: ReachabilityIndex,
+    subtree: SubtreeResult,
+    targets: list[int],
+) -> InsertMaintenance:
+    """Algorithm Δ(M,L)insert.  Call *after* ``store.apply(ΔV)``."""
+    report = InsertMaintenance()
+    report.placed_nodes = place_new_nodes(store, topo, subtree)
+    report.added_pairs = insert_pairs(store, topo, reach, subtree, targets)
+    report.moved_nodes = repair_topo_after_insert(
+        topo, subtree, targets, reach.desc_view(subtree.root)
+    )
     return report
 
 
 def maintain_delete(
     store: ViewStore,
     topo: TopoOrder,
-    reach: ReachabilityMatrix,
+    reach: ReachabilityIndex,
     result: "EvalResult | list[int]",
 ) -> DeleteMaintenance:
     """Algorithm Δ(M,L)delete.  Call *after* ``store.apply(ΔV)``.
@@ -145,28 +183,20 @@ def maintain_delete(
     """
     report = DeleteMaintenance()
     targets = result if isinstance(result, list) else result.targets
-    affected: set[int] = set(targets)
-    for target in targets:
-        affected |= reach.desc(target)
+    affected = set(targets) | reach.desc_of_set(targets)
     lr = topo.sort_nodes(affected)  # descendants first
-    keep: dict[int, bool] = {}
+    condemned: set[int] = set()
 
     for node in reversed(lr):  # ancestors first
-        surviving = {
-            parent
-            for parent in store.parents_of(node)
-            if keep.get(parent, True)
-        }
-        new_ancestors: set[int] = set()
-        for parent in surviving:
-            new_ancestors.add(parent)
-            new_ancestors |= reach.anc(parent)
-        removed = reach.anc(node) - new_ancestors
-        for anc in removed:
-            reach.remove(anc, node)
-            report.removed_pairs += 1
+        parents = store.parents_of(node)
+        surviving = (
+            [p for p in parents if p not in condemned]
+            if condemned
+            else parents
+        )
+        report.removed_pairs += reach.retain_ancestors(node, surviving)
         if not surviving and node != store.root_id:
-            keep[node] = False
+            condemned.add(node)
             for child in list(store.children_of(node)):
                 report.gc_delta.delete(
                     store.type_of(node), store.type_of(child), node, child
@@ -174,11 +204,10 @@ def maintain_delete(
 
     # Apply Δ'V and drop the condemned nodes from every structure.
     store.apply(report.gc_delta)
-    for node in reversed(lr):
-        if keep.get(node, True):
-            continue
-        topo.remove(node)
-        reach.drop_node(node)
-        store.remove_node(node)
-        report.removed_nodes.append(node)
+    if condemned:
+        report.removed_nodes = [n for n in reversed(lr) if n in condemned]
+        topo.remove_many(report.removed_nodes)
+        for node in report.removed_nodes:
+            reach.drop_node(node)
+            store.remove_node(node)
     return report

@@ -1,139 +1,39 @@
 """The reachability matrix ``M`` and Algorithm Reach (paper, Fig. 4).
 
-``M`` answers ancestor/descendant queries on the DAG in O(1); it is
-"physically stored" as the set of its set bits — here two mutually
-consistent adjacency maps (node → ancestors, node → descendants), the
-in-memory equivalent of the paper's ``M(anc, desc)`` relation.
+The implementation lives in the pluggable index subsystem
+(:mod:`repro.index`); this module keeps the historical entry points:
 
-Algorithm Reach computes ``M`` in ``O(n·|V|)`` by dynamic programming
-over the topological order: processing nodes ancestors-first, a node's
-ancestor set is the union of its parents and their (already computed)
-ancestor sets.
+- :class:`ReachabilityMatrix` — the original dict-of-``set`` matrix, now
+  :class:`repro.index.SetReachabilityIndex` (the reference backend);
+- :func:`compute_reach` — Algorithm Reach, with an optional ``backend``
+  argument selecting the physical representation (``"sets"`` by default
+  for drop-in compatibility; pass ``"bitset"`` or ``"auto"`` for the
+  integer-bitmask engine).
+
+New code should program against :class:`repro.index.ReachabilityIndex`
+and :func:`repro.index.build_index` directly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
-
 from repro.core.topo import TopoOrder
+from repro.index import ReachabilityIndex, SetReachabilityIndex, build_index
 from repro.views.store import ViewStore
 
-
-class ReachabilityMatrix:
-    """Sparse reachability matrix with both-direction access."""
-
-    def __init__(self) -> None:
-        self._anc: dict[int, set[int]] = {}
-        self._desc: dict[int, set[int]] = {}
-        self._pairs = 0
-
-    # -- queries ------------------------------------------------------------------
-
-    def anc(self, node: int) -> set[int]:
-        """Proper ancestors of ``node`` (excludes the node itself)."""
-        return self._anc.get(node, set())
-
-    def desc(self, node: int) -> set[int]:
-        """Proper descendants of ``node`` (excludes the node itself)."""
-        return self._desc.get(node, set())
-
-    def is_ancestor(self, a: int, d: int) -> bool:
-        return d in self._desc.get(a, ())
-
-    def __contains__(self, pair: tuple[int, int]) -> bool:
-        a, d = pair
-        return self.is_ancestor(a, d)
-
-    def __len__(self) -> int:
-        """|M|: number of set bits (stored (anc, desc) pairs)."""
-        return self._pairs
-
-    def pairs(self) -> Iterator[tuple[int, int]]:
-        for desc_node, ancestors in self._anc.items():
-            for anc_node in ancestors:
-                yield (anc_node, desc_node)
-
-    def anc_of_set(self, nodes: Iterable[int]) -> set[int]:
-        """Union of proper ancestors over a set of nodes."""
-        out: set[int] = set()
-        for node in nodes:
-            out |= self.anc(node)
-        return out
-
-    def desc_of_set(self, nodes: Iterable[int]) -> set[int]:
-        out: set[int] = set()
-        for node in nodes:
-            out |= self.desc(node)
-        return out
-
-    # -- mutation ------------------------------------------------------------------
-
-    def insert(self, anc: int, desc: int) -> bool:
-        """Set bit (anc, desc); returns True if newly set."""
-        bucket = self._anc.setdefault(desc, set())
-        if anc in bucket:
-            return False
-        bucket.add(anc)
-        self._desc.setdefault(anc, set()).add(desc)
-        self._pairs += 1
-        return True
-
-    def remove(self, anc: int, desc: int) -> bool:
-        """Clear bit (anc, desc); returns True if it was set."""
-        bucket = self._anc.get(desc)
-        if bucket is None or anc not in bucket:
-            return False
-        bucket.discard(anc)
-        self._desc.get(anc, set()).discard(desc)
-        self._pairs -= 1
-        return True
-
-    def set_ancestors(self, node: int, ancestors: set[int]) -> None:
-        """Replace the ancestor set of ``node`` wholesale."""
-        old = self._anc.get(node, set())
-        for anc in old - ancestors:
-            self._desc.get(anc, set()).discard(node)
-            self._pairs -= 1
-        for anc in ancestors - old:
-            self._desc.setdefault(anc, set()).add(node)
-            self._pairs += 1
-        self._anc[node] = set(ancestors)
-
-    def drop_node(self, node: int) -> None:
-        """Remove every pair mentioning ``node``."""
-        for anc in self._anc.pop(node, set()):
-            self._desc.get(anc, set()).discard(node)
-            self._pairs -= 1
-        for desc in self._desc.pop(node, set()):
-            self._anc.get(desc, set()).discard(node)
-            self._pairs -= 1
-
-    def copy(self) -> "ReachabilityMatrix":
-        clone = ReachabilityMatrix()
-        clone._anc = {n: set(s) for n, s in self._anc.items()}
-        clone._desc = {n: set(s) for n, s in self._desc.items()}
-        clone._pairs = self._pairs
-        return clone
-
-    def equals(self, other: "ReachabilityMatrix") -> bool:
-        mine = {(a, d) for d, ancs in self._anc.items() for a in ancs}
-        theirs = {(a, d) for d, ancs in other._anc.items() for a in ancs}
-        return mine == theirs
+#: Backward-compatible name for the reference (set-based) backend.
+ReachabilityMatrix = SetReachabilityIndex
 
 
-def compute_reach(store: ViewStore, topo: TopoOrder) -> ReachabilityMatrix:
+def compute_reach(
+    store: ViewStore, topo: TopoOrder, backend: str = "sets"
+) -> ReachabilityIndex:
     """Algorithm Reach (paper, Fig. 4): ``M`` in ``O(n·|V|)``.
 
     Nodes are processed in backward topological order (ancestors first),
     so every parent's ancestor set is ready when a node is reached; the
     node's ancestors are its parents plus their ancestors.
     """
-    matrix = ReachabilityMatrix()
-    for node in topo.backward():
-        ancestors: set[int] = set()
-        for parent in store.parents_of(node):
-            ancestors.add(parent)
-            ancestors |= matrix.anc(parent)
-        if ancestors:
-            matrix.set_ancestors(node, ancestors)
-    return matrix
+    return build_index(store, topo, backend)
+
+
+__all__ = ["ReachabilityMatrix", "compute_reach"]

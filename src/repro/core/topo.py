@@ -13,10 +13,13 @@ descendants of ``v`` lying between them to just before ``u``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.errors import CycleError, ReproError
 from repro.views.store import ViewStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.index import ReachabilityIndex
 
 
 class TopoOrder:
@@ -106,7 +109,26 @@ class TopoOrder:
         del self._pos[node]
         self._reindex(pos)
 
-    def swap(self, u: int, v: int, descendants_of_v: set[int]) -> int:
+    def remove_many(self, nodes: Iterable[int]) -> None:
+        """Remove several nodes with a single rebuild/reindex pass.
+
+        Equivalent to calling :meth:`remove` per node (removal never
+        invalidates the order of the survivors) but O(|L|) total
+        instead of O(|L|) per node.
+        """
+        dead = set(nodes)
+        if not dead:
+            return
+        for node in dead:
+            if node not in self._pos:
+                raise ReproError(f"node {node} not in topological order")
+        start = min(self._pos[node] for node in dead)
+        self._list = [n for n in self._list if n not in dead]
+        for node in dead:
+            del self._pos[node]
+        self._reindex(start)
+
+    def swap(self, u: int, v: int, descendants_of_v) -> int:
         """Repair ``L`` after inserting edge ``(u, v)``.
 
         Precondition: ``u`` precedes ``v``.  Moves ``{v} ∪ (L[u:v] ∩
@@ -125,13 +147,25 @@ class TopoOrder:
         return len(moving)
 
     def _reindex(self, start: int) -> None:
-        for i in range(start, len(self._list)):
-            self._pos[self._list[i]] = i
+        if start == 0:
+            self._pos = dict(zip(self._list, range(len(self._list))))
+        else:
+            self._pos.update(
+                zip(self._list[start:], range(start, len(self._list)))
+            )
 
     # -- validation (test helper) ------------------------------------------------------
 
-    def is_valid_for(self, is_ancestor: Callable[[int, int], bool]) -> bool:
-        """Check the invariant: u precedes v ⇒ u is not an ancestor of v."""
+    def is_valid_for(
+        self, is_ancestor: "Callable[[int, int], bool] | ReachabilityIndex"
+    ) -> bool:
+        """Check the invariant: u precedes v ⇒ u is not an ancestor of v.
+
+        Accepts either an ``is_ancestor(u, v)`` predicate or a
+        :class:`~repro.index.ReachabilityIndex` directly.
+        """
+        if not callable(is_ancestor):
+            is_ancestor = is_ancestor.is_ancestor
         for i, u in enumerate(self._list):
             for v in self._list[i + 1 :]:
                 if is_ancestor(u, v):

@@ -29,15 +29,22 @@ import time
 from dataclasses import dataclass, field
 
 from repro.atg.model import ATG
-from repro.atg.publisher import publish_store, publish_subtree, unfold_to_tree
+from repro.atg.publisher import (
+    SubtreeResult,
+    publish_store,
+    publish_subtree,
+    unfold_to_tree,
+)
 from repro.core.dag_eval import DagXPathEvaluator, EvalResult
 from repro.core.maintenance import (
     DeleteMaintenance,
     InsertMaintenance,
+    insert_pairs,
     maintain_delete,
     maintain_insert,
+    place_new_nodes,
+    repair_topo_after_insert,
 )
-from repro.core.reachability import ReachabilityMatrix, compute_reach
 from repro.core.topo import TopoOrder
 from repro.core.translate import xdelete, xinsert
 from repro.dtd.validate import StaticValidator
@@ -47,6 +54,7 @@ from repro.errors import (
     UpdateRejectedError,
     ValidationError,
 )
+from repro.index import ReachabilityIndex, build_index, resolve_backend
 from repro.relational.database import Database, RelationalDelta
 from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.relview.insert import translate_insertions
@@ -122,6 +130,11 @@ class XMLViewUpdater:
     strict:
         When True, rejections raise; when False they return an
         unaccepted :class:`UpdateOutcome` (benchmarks use False).
+    index_backend:
+        Reachability-index engine for ``M``: ``'bitset'`` (int bitmask
+        rows), ``'sets'`` (the reference dict-of-set matrix) or
+        ``'auto'`` (default; resolves to the fastest backend, see
+        :mod:`repro.index`).
     """
 
     def __init__(
@@ -133,6 +146,7 @@ class XMLViewUpdater:
         strict: bool = True,
         verify_each_update: bool = False,
         rng: random.Random | None = None,
+        index_backend: str = "auto",
     ):
         self.atg = atg
         self.db = db
@@ -141,12 +155,18 @@ class XMLViewUpdater:
         self.strict = strict
         self.verify_each_update = verify_each_update
         self.rng = rng or random.Random(20070415)
+        self.index_backend = resolve_backend(index_backend)
         self.validator = StaticValidator(atg.dtd)
         self.store: ViewStore = publish_store(atg, db)
         self.topo: TopoOrder = TopoOrder.from_store(self.store)
-        self.reach: ReachabilityMatrix = compute_reach(self.store, self.topo)
+        self.reach: ReachabilityIndex = build_index(
+            self.store, self.topo, self.index_backend
+        )
         self.registry: EdgeViewRegistry = build_registry(atg, db)
         self.last_maintenance: InsertMaintenance | DeleteMaintenance | None = None
+        self.maintenance_runs = 0
+        """Number of Δ(M,L) repair passes run (batching amortizes them)."""
+        self._session: UpdateSession | None = None
 
     # -- public API -----------------------------------------------------------
 
@@ -157,8 +177,7 @@ class XMLViewUpdater:
     def evaluate_xpath(self, path: str | XPath) -> EvalResult:
         """Evaluate an XPath on the current view (no update)."""
         parsed = parse_xpath(path) if isinstance(path, str) else path
-        evaluator = DagXPathEvaluator(self.store, self.topo, self.reach)
-        return evaluator.evaluate(parsed)
+        return self._evaluator().evaluate(parsed)
 
     def insert(
         self, path: str | XPath, element: str, sem: tuple
@@ -170,8 +189,7 @@ class XMLViewUpdater:
             with _Timer(outcome, "validate"):
                 self.validator.validate_insert(parsed, element)
             with _Timer(outcome, "xpath"):
-                evaluator = DagXPathEvaluator(self.store, self.topo, self.reach)
-                result = evaluator.evaluate(parsed, mode="insert")
+                result = self._evaluator().evaluate(parsed, mode="insert")
             outcome.targets = list(result.targets)
             outcome.side_effects = set(result.side_effects)
             if not result.targets:
@@ -217,9 +235,14 @@ class XMLViewUpdater:
                 self.db.apply(plan.delta_r)
                 self.store.apply(delta_v)
             with _Timer(outcome, "maintain"):
-                self.last_maintenance = maintain_insert(
-                    self.store, self.topo, self.reach, subtree, result.targets
-                )
+                if self._session is not None:
+                    self._session.defer_insert(subtree, result.targets)
+                else:
+                    self.last_maintenance = maintain_insert(
+                        self.store, self.topo, self.reach, subtree,
+                        result.targets,
+                    )
+                    self.maintenance_runs += 1
             outcome.accepted = True
             self._post_verify()
             return outcome
@@ -237,8 +260,7 @@ class XMLViewUpdater:
             with _Timer(outcome, "validate"):
                 self.validator.validate_delete(parsed)
             with _Timer(outcome, "xpath"):
-                evaluator = DagXPathEvaluator(self.store, self.topo, self.reach)
-                result = evaluator.evaluate(parsed, mode="delete")
+                result = self._evaluator().evaluate(parsed, mode="delete")
             outcome.targets = list(result.targets)
             outcome.side_effects = set(result.side_effects)
             if not result.targets:
@@ -262,9 +284,13 @@ class XMLViewUpdater:
                 self.db.apply(plan.delta_r)
                 self.store.apply(delta_v)
             with _Timer(outcome, "maintain"):
-                self.last_maintenance = maintain_delete(
-                    self.store, self.topo, self.reach, result
-                )
+                if self._session is not None:
+                    self._session.defer_delete(result.targets)
+                else:
+                    self.last_maintenance = maintain_delete(
+                        self.store, self.topo, self.reach, result
+                    )
+                    self.maintenance_runs += 1
             outcome.accepted = True
             self._post_verify()
             return outcome
@@ -274,7 +300,40 @@ class XMLViewUpdater:
                 raise
             return outcome
 
+    def batch(self) -> "UpdateSession":
+        """Open a batched update session (the paper's "background" mode).
+
+        Inside ``with updater.batch():`` every accepted insert/delete
+        runs its foreground phases (validate, xpath, translate, apply)
+        immediately, but the expensive ``M`` repair is queued; leaving
+        the block runs **one** deferred Δ(M,L) maintenance pass for the
+        whole batch instead of one per update.  ``L`` stays maintained
+        eagerly (placement + swap are cheap and evaluation needs them),
+        and while repairs are pending the XPath evaluator derives
+        descendant regions from the store's edges, so mid-batch queries
+        and updates see correct results.
+
+        Deferred garbage collection means a subtree deleted and
+        re-inserted within one batch is shared instead of republished —
+        semantically the same view (``check_consistency`` holds), via
+        the paper's gen_id interning.
+        """
+        if self._session is not None:
+            raise ReproError("an update session is already active")
+        return UpdateSession(self)
+
     # -- helpers ---------------------------------------------------------------
+
+    def _evaluator(self) -> DagXPathEvaluator:
+        """An evaluator for the current state.
+
+        While a batch session has repairs pending, ``M`` is stale; pass
+        ``reach=None`` so descendant regions come from the store walk.
+        """
+        dirty = self._session is not None and self._session.pending
+        return DagXPathEvaluator(
+            self.store, self.topo, None if dirty else self.reach
+        )
 
     def _check_side_effects(self, result: EvalResult) -> None:
         if result.has_side_effects and self.policy is SideEffectPolicy.ABORT:
@@ -310,6 +369,11 @@ class XMLViewUpdater:
         """
         from repro.atg.incremental import propagate_base_update
 
+        if self._session is not None and self._session.pending:
+            raise ReproError(
+                "cannot propagate a base update while a batch session has "
+                "pending maintenance; flush the session first"
+            )
         report = propagate_base_update(
             self.atg,
             self.registry,
@@ -330,6 +394,8 @@ class XMLViewUpdater:
         """
         if not self.verify_each_update:
             return
+        if self._session is not None and self._session.pending:
+            return  # M/L deliberately stale; the session verifies at flush
         problems = self.check_consistency()
         if problems:
             raise ReproError(
@@ -347,8 +413,11 @@ class XMLViewUpdater:
         Used after swapping in a store loaded from persistence
         (:func:`repro.views.loader.store_from_database`).
         """
-        self.topo = TopoOrder.from_store(self.store)
-        self.reach = compute_reach(self.store, self.topo)
+        from repro.views.loader import load_structures
+
+        self.topo, self.reach = load_structures(
+            self.store, self.index_backend
+        )
 
     def check_consistency(self) -> list[str]:
         """Verify the incremental state against a fresh republish.
@@ -403,9 +472,124 @@ class XMLViewUpdater:
                 f"extra={sorted(mine_edges - fresh_edges)[:5]}"
             )
         fresh_topo = TopoOrder.from_store(self.store)
-        fresh_reach = compute_reach(self.store, fresh_topo)
+        fresh_reach = build_index(self.store, fresh_topo, self.index_backend)
         if not self.reach.equals(fresh_reach):
             problems.append("reachability matrix differs from recomputation")
         if not self.topo.is_valid_for(self.reach.is_ancestor):
             problems.append("topological order invalid")
         return problems
+
+
+@dataclass
+class BatchReport:
+    """What one deferred maintenance pass (session flush) did."""
+
+    inserts: int = 0
+    deletes: int = 0
+    added_pairs: int = 0
+    removed_pairs: int = 0
+    removed_nodes: list[int] = field(default_factory=list)
+    gc_delta: ViewDelta = field(default_factory=ViewDelta)
+    maintenance_passes: int = 0
+    seconds: float = 0.0
+
+
+class UpdateSession:
+    """Batched update session: N updates, one Δ(M,L) repair.
+
+    Created by :meth:`XMLViewUpdater.batch`; use as a context manager::
+
+        with updater.batch():
+            updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+            updater.delete("course[cno='CS240']/project")
+
+    Per accepted update the session does the *cheap* ``L`` work eagerly
+    (new-node placement and the paper's ``swap`` repair, with the
+    subtree's descendants taken from a store walk since ``M`` is
+    deferred) and queues the ``M`` repair.  :meth:`flush` — called
+    automatically on exit, even when the block raises — runs exactly
+    one maintenance pass: pending insert repairs are replayed in order
+    (pure pair additions), then a single combined Δ(M,L)delete over the
+    union of deleted targets removes stale pairs and garbage-collects
+    unreachable nodes.  Convergence to the closure of the final store
+    does not depend on replay interleaving: every false pair a stale
+    row can contribute has its descendant below some deleted target, so
+    the closing delete pass recomputes it.
+    """
+
+    def __init__(self, updater: XMLViewUpdater):
+        self.updater = updater
+        self._pending_inserts: list[tuple[SubtreeResult, list[int]]] = []
+        self._pending_deletes: list[int] = []
+        self.report: BatchReport | None = None
+        self._closed = False
+
+    # -- context management ------------------------------------------------------
+
+    def __enter__(self) -> "UpdateSession":
+        if self._closed:
+            raise ReproError("update session already closed")
+        self.updater._session = self
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.updater._session = None
+        self._closed = True
+        self.flush()
+        return False
+
+    # -- queueing (called by the updater inside the maintain phase) ----------------
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._pending_inserts or self._pending_deletes)
+
+    def defer_insert(
+        self, subtree: SubtreeResult, targets: list[int]
+    ) -> None:
+        updater = self.updater
+        place_new_nodes(updater.store, updater.topo, subtree)
+        desc_root = updater.store.descendants_of([subtree.root])
+        repair_topo_after_insert(updater.topo, subtree, targets, desc_root)
+        self._pending_inserts.append((subtree, list(targets)))
+
+    def defer_delete(self, targets: list[int]) -> None:
+        self._pending_deletes.extend(targets)
+
+    # -- the single deferred repair ------------------------------------------------
+
+    def flush(self) -> BatchReport:
+        """Run the deferred Δ(M,L) repair; idempotent once drained."""
+        if not self.pending:
+            # Nothing queued: keep the report of the last real flush.
+            if self.report is None:
+                self.report = BatchReport()
+            return self.report
+        report = BatchReport(
+            inserts=len(self._pending_inserts),
+            deletes=len(self._pending_deletes),
+        )
+        self.report = report
+        updater = self.updater
+        start = time.perf_counter()
+        for subtree, targets in self._pending_inserts:
+            report.added_pairs += insert_pairs(
+                updater.store, updater.topo, updater.reach, subtree, targets
+            )
+        if self._pending_deletes:
+            dm = maintain_delete(
+                updater.store,
+                updater.topo,
+                updater.reach,
+                sorted(set(self._pending_deletes)),
+            )
+            report.removed_pairs = dm.removed_pairs
+            report.removed_nodes = dm.removed_nodes
+            report.gc_delta = dm.gc_delta
+        self._pending_inserts.clear()
+        self._pending_deletes.clear()
+        report.maintenance_passes = 1
+        updater.maintenance_runs += 1
+        report.seconds = time.perf_counter() - start
+        updater._post_verify()
+        return report

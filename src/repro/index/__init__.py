@@ -1,0 +1,83 @@
+"""Pluggable reachability-index engine (the paper's matrix ``M``).
+
+The index subsystem decouples *what* ``M`` answers (ancestor /
+descendant queries, Algorithm Reach, the Δ(M,L) bulk maintenance steps)
+from *how* it is stored.  Two interchangeable backends ship:
+
+==========  ==================================================  =========
+name        representation                                      role
+==========  ==================================================  =========
+``sets``    dict of ``set[int]`` rows (the original matrix)     oracle
+``bitset``  dict of ``int`` bitmask rows over dense node ids    fast path
+==========  ==================================================  =========
+
+``"auto"`` resolves to the fastest backend for the store at hand —
+currently always ``bitset``, since view-store node ids are dense
+integers by construction.
+
+Use :func:`make_index` for an empty index, :func:`build_index` to run
+Algorithm Reach over a store, and :data:`BACKENDS` to enumerate what is
+available (the cross-backend equivalence tests iterate it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.index.base import ReachabilityIndex
+from repro.index.bitset import BitsetReachabilityIndex
+from repro.index.sets import SetReachabilityIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.topo import TopoOrder
+    from repro.views.store import ViewStore
+
+#: Concrete backends by registry name.
+BACKENDS: dict[str, type[ReachabilityIndex]] = {
+    SetReachabilityIndex.backend: SetReachabilityIndex,
+    BitsetReachabilityIndex.backend: BitsetReachabilityIndex,
+}
+
+#: What ``"auto"`` resolves to.  Node ids are dense integers, so the
+#: bitset backend wins on every workload we measure (see
+#: ``benchmarks/test_index_backends.py``).
+AUTO_BACKEND = BitsetReachabilityIndex.backend
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalize a backend name; ``"auto"`` picks the default fast path."""
+    if backend == "auto":
+        return AUTO_BACKEND
+    if backend not in BACKENDS:
+        known = ", ".join(sorted(BACKENDS) + ["auto"])
+        raise ReproError(
+            f"unknown reachability-index backend {backend!r} (known: {known})"
+        )
+    return backend
+
+
+def make_index(backend: str = "auto") -> ReachabilityIndex:
+    """An empty reachability index of the given backend."""
+    return BACKENDS[resolve_backend(backend)]()
+
+
+def build_index(
+    store: "ViewStore", topo: "TopoOrder", backend: str = "auto"
+) -> ReachabilityIndex:
+    """Algorithm Reach: compute ``M`` for ``store`` in ``O(n·|V|)``."""
+    index = make_index(backend)
+    index.recompute(store, topo)
+    return index
+
+
+__all__ = [
+    "AUTO_BACKEND",
+    "BACKENDS",
+    "BitsetReachabilityIndex",
+    "ReachabilityIndex",
+    "SetReachabilityIndex",
+    "build_index",
+    "make_index",
+    "resolve_backend",
+]

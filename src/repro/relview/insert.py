@@ -741,6 +741,16 @@ def _sym_domains(
 _fresh_counter = [0]
 
 
+def reset_fresh_counter(value: int = 0) -> None:
+    """Reset the process-wide fresh-value sequence.
+
+    Determinism hook for tests and benchmarks that compare two identical
+    runs in one process (fresh values stay domain-safe for any counter
+    start: integers are offset by the relation's current maximum).
+    """
+    _fresh_counter[0] = value
+
+
 def _decode_valuation(
     db: Database,
     valuation: dict[SymVar, object],

@@ -192,11 +192,15 @@ class ViewStore:
     def nodes(self) -> Iterator[int]:
         return iter(self.node_type)
 
-    def reachable_from_root(self) -> set[int]:
-        if self.root_id is None:
-            return set()
-        seen = {self.root_id}
-        stack = [self.root_id]
+    def descendants_of(self, roots: Iterable[int]) -> set[int]:
+        """Proper descendants of ``roots`` by edge walk (no index).
+
+        The slow-path equivalent of
+        :meth:`repro.index.ReachabilityIndex.desc_of_set`, used when the
+        reachability index is deferred (batched update sessions).
+        """
+        seen: set[int] = set()
+        stack = list(roots)
         while stack:
             node = stack.pop()
             for child in self.children.get(node, ()):
@@ -204,6 +208,11 @@ class ViewStore:
                     seen.add(child)
                     stack.append(child)
         return seen
+
+    def reachable_from_root(self) -> set[int]:
+        if self.root_id is None:
+            return set()
+        return {self.root_id} | self.descendants_of([self.root_id])
 
     # -- statistics ------------------------------------------------------------------
 

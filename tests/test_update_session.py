@@ -1,0 +1,202 @@
+"""Tests for batched update sessions (``with updater.batch():``).
+
+The contract: foreground phases run per update, ``L`` stays maintained,
+but leaving the block runs exactly one deferred Δ(M,L) maintenance pass
+whose final state is ``equals()``-identical to sequential processing.
+"""
+
+import pytest
+
+from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.errors import ReproError, UpdateRejectedError
+from repro.index import BACKENDS
+from repro.workloads.queries import make_workload
+from repro.workloads.registrar import build_registrar
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def _registrar_updater(**kwargs):
+    atg, db = build_registrar()
+    kwargs.setdefault("side_effect_policy", SideEffectPolicy.PROPAGATE)
+    return XMLViewUpdater(atg, db, **kwargs)
+
+
+def _synthetic_updater(n_c=60, seed=7, **kwargs):
+    dataset = build_synthetic(SyntheticConfig(n_c=n_c, seed=seed))
+    kwargs.setdefault("side_effect_policy", SideEffectPolicy.PROPAGATE)
+    kwargs.setdefault("strict", False)
+    return dataset, XMLViewUpdater(dataset.atg, dataset.db, **kwargs)
+
+
+def _delete_ops(dataset, count=4):
+    ops = []
+    for cls in ("W1", "W2"):
+        ops.extend(make_workload(dataset, "delete", cls, count=count))
+    return ops
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_batched_deletions_one_pass_identical_state(backend):
+    """Acceptance: N batched deletions = 1 maintenance pass, same state."""
+    dataset_a, sequential = _synthetic_updater(index_backend=backend)
+    dataset_b, batched = _synthetic_updater(index_backend=backend)
+    ops = _delete_ops(dataset_a)
+    assert len(ops) >= 3
+
+    seq_outcomes = [sequential.delete(op.path) for op in ops]
+    assert sequential.maintenance_runs == sum(
+        1 for o in seq_outcomes if o.accepted
+    )
+
+    before = batched.maintenance_runs
+    with batched.batch() as session:
+        batch_outcomes = [batched.delete(op.path) for op in ops]
+    assert batched.maintenance_runs - before == 1
+    assert session.report is not None
+    assert session.report.maintenance_passes == 1
+    assert session.report.deletes == sum(
+        1 for o in batch_outcomes if o.accepted
+    )
+
+    # Mid-batch foreground results were identical to sequential.
+    for a, b in zip(seq_outcomes, batch_outcomes):
+        assert a.accepted == b.accepted
+        assert a.targets == b.targets
+
+    # Final auxiliary structures are equals()-identical.
+    assert batched.reach.equals(sequential.reach)
+    assert batched.topo.is_valid_for(batched.reach)
+    assert sorted(batched.store.nodes()) == sorted(sequential.store.nodes())
+    assert batched.check_consistency() == []
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_batched_inserts_one_pass(backend):
+    updater = _registrar_updater(index_backend=backend, strict=True)
+    before = updater.maintenance_runs
+    with updater.batch():
+        updater.insert(
+            "course[cno='CS650']/prereq", "course", ("CS901", "Batched I")
+        )
+        updater.insert(
+            "course[cno='CS650']/prereq", "course", ("CS902", "Batched II")
+        )
+    assert updater.maintenance_runs - before == 1
+    assert updater.check_consistency() == []
+    result = updater.evaluate_xpath("course[cno='CS650']/prereq/course")
+    types = {updater.store.sem_of(n)[0] for n in result.targets}
+    assert {"CS901", "CS902"} <= types
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_mixed_batch_consistent(backend):
+    updater = _registrar_updater(index_backend=backend, strict=False)
+    before = updater.maintenance_runs
+    with updater.batch():
+        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+        updater.insert(
+            "course[cno='CS650']/prereq", "course", ("CS903", "Mixed")
+        )
+        updater.delete("//course[cno='CS910']")  # selects nothing: rejected
+    assert updater.maintenance_runs - before == 1
+    assert updater.check_consistency() == []
+    assert updater.reach.check_invariants() == []
+
+
+def test_mid_batch_evaluation_sees_applied_deltas():
+    updater = _registrar_updater(strict=True)
+    with updater.batch():
+        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+        # The foreground ΔV is applied: a descendant query through the
+        # deleted edge must not resurrect it, even though M is stale.
+        result = updater.evaluate_xpath(
+            "course[cno='CS650']/prereq//course[cno='CS320']"
+        )
+        assert result.targets == []
+
+
+def test_batch_with_only_rejections_runs_no_pass():
+    updater = _registrar_updater(strict=False)
+    before = updater.maintenance_runs
+    with updater.batch() as session:
+        outcome = updater.delete("//course[cno='NOPE']")
+    assert not outcome.accepted
+    assert updater.maintenance_runs == before
+    assert session.report.maintenance_passes == 0
+
+
+def test_batch_flushes_even_when_block_raises():
+    updater = _registrar_updater(strict=True)
+    before = updater.maintenance_runs
+    with pytest.raises(UpdateRejectedError):
+        with updater.batch():
+            updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+            updater.delete("//course[cno='NOPE']")  # raises (strict)
+    # The accepted delete's repair still ran: state is consistent.
+    assert updater.maintenance_runs - before == 1
+    assert updater.check_consistency() == []
+
+
+def test_nested_batch_rejected():
+    updater = _registrar_updater()
+    with updater.batch():
+        with pytest.raises(ReproError, match="already active"):
+            updater.batch()
+    # After a clean exit a new batch opens fine.
+    with updater.batch():
+        pass
+
+
+def test_base_update_blocked_while_pending():
+    updater = _registrar_updater(strict=True)
+    with updater.batch():
+        outcome = updater.delete(
+            "course[cno='CS650']/prereq/course[cno='CS320']"
+        )
+        with pytest.raises(ReproError, match="pending maintenance"):
+            updater.undo(outcome)
+    assert updater.check_consistency() == []
+    # Once flushed, undo works and restores the original view.
+    updater.undo(outcome)
+    assert updater.check_consistency() == []
+
+
+def test_explicit_flush_mid_batch():
+    updater = _registrar_updater(strict=True)
+    with updater.batch() as session:
+        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+        report = session.flush()
+        assert report.maintenance_passes == 1
+        # Maintenance is clean now; further ops queue afresh.
+        updater.insert(
+            "course[cno='CS650']/prereq", "course", ("CS904", "Post-flush")
+        )
+    assert updater.check_consistency() == []
+
+
+def test_batch_delete_then_reinsert_shares_subtree():
+    """Deferred GC: delete + re-insert within one batch resurrects the
+    shared subtree via gen_id interning instead of republishing."""
+    updater = _registrar_updater(strict=True)
+    target = updater.store.lookup("course", ("CS320", "Databases"))
+    assert target is not None
+    with updater.batch():
+        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+        updater.insert(
+            "course[cno='CS650']/prereq", "course", ("CS320", "Databases")
+        )
+    assert updater.check_consistency() == []
+    # Same node id: the subtree was shared, not republished.
+    assert updater.store.lookup("course", ("CS320", "Databases")) == target
+
+
+def test_verify_each_update_defers_to_flush():
+    updater = _registrar_updater(strict=True, verify_each_update=True)
+    with updater.batch():
+        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+        updater.insert(
+            "course[cno='CS650']/prereq", "course", ("CS905", "Verified")
+        )
+    assert updater.check_consistency() == []
