@@ -14,6 +14,7 @@ from repro.core.reachability import compute_reach
 from repro.core.topo import TopoOrder
 from repro.core.updater import SideEffectPolicy, XMLViewUpdater
 from repro.workloads.chains import build_chain
+from repro.ops import DeleteOp
 
 DEPTHS = (50, 150, 300)
 
@@ -55,9 +56,9 @@ def test_deep_update(benchmark):
         return (updater,), {}
 
     def work(updater):
-        return updater.delete(
+        return updater.apply_op(DeleteOp(
             f"//course[cno=K{depth - 2:04d}]//student[ssn=T000]"
-        )
+        ))
 
     outcome = benchmark.pedantic(work, setup=setup, rounds=2, iterations=1)
     assert outcome.accepted

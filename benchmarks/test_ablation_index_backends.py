@@ -44,12 +44,12 @@ def _measure_backend(backend: str) -> dict:
     ops = accepted = 0
     for cls in ("W1", "W2", "W3"):
         for op in make_workload(dataset, "delete", cls, count=OPS_PER_CLASS):
-            outcome = updater.delete(op.path)
+            outcome = updater.apply_op(op)
             maintain_seconds += outcome.timings.get("maintain", 0.0)
             ops += 1
             accepted += outcome.accepted
         for op in make_workload(dataset, "insert", cls, count=3):
-            outcome = updater.insert(op.path, op.element, op.sem)
+            outcome = updater.apply_op(op)
             maintain_seconds += outcome.timings.get("maintain", 0.0)
             ops += 1
             accepted += outcome.accepted
@@ -114,7 +114,7 @@ def test_backends_equal_on_benchmark_sizes():
             reset_fresh_counter()
             updater, dataset = fresh_updater(n_c, index_backend=backend)
             for op in make_workload(dataset, "delete", "W2", count=3):
-                updater.delete(op.path)
+                updater.apply_op(op)
             updaters[backend] = updater
         a, b = (updaters[n] for n in ALL_BACKENDS)
         assert a.reach.equals(b.reach)
@@ -135,14 +135,14 @@ def test_batch_session_amortizes_maintenance():
     ]
     seq_maintain = 0.0
     for op in ops:
-        seq_maintain += sequential.delete(op.path).timings.get("maintain", 0.0)
+        seq_maintain += sequential.apply_op(op).timings.get("maintain", 0.0)
 
     reset_fresh_counter()
     batched, _ = fresh_updater(n_c)
     runs_before = batched.maintenance_runs
     with batched.batch() as session:
         for op in ops:
-            batched.delete(op.path)
+            batched.apply_op(op)
     batch_maintain = session.report.seconds
 
     assert batched.maintenance_runs - runs_before == 1

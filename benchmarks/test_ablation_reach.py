@@ -6,7 +6,7 @@ O(|V|² log |V|) textbook alternative.
 
 import pytest
 
-from conftest import SIZES, fresh_updater
+from conftest import SIZES
 from repro.baselines.naive_reach import naive_reachability, squaring_reachability
 from repro.core.reachability import compute_reach
 from repro.core.topo import TopoOrder

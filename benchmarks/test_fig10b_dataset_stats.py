@@ -7,7 +7,7 @@ instances sits around 31.4%.
 
 import pytest
 
-from conftest import SIZES, fresh_updater
+from conftest import SIZES
 from repro.atg.publisher import publish_store
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
 

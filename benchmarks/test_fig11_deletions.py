@@ -15,7 +15,7 @@ from repro.workloads.queries import make_workload
 def run_deletions(updater, dataset, cls):
     acc = PhaseAccumulator()
     for op in make_workload(dataset, "delete", cls, count=OPS_PER_CLASS):
-        acc.add(updater.delete(op.path))
+        acc.add(updater.apply_op(op))
     return acc
 
 
@@ -46,7 +46,7 @@ def test_deletion_dominated_by_xpath():
     acc = PhaseAccumulator()
     for cls in ("W1", "W2", "W3"):
         for op in make_workload(dataset, "delete", cls, count=OPS_PER_CLASS):
-            acc.add(updater.delete(op.path))
+            acc.add(updater.apply_op(op))
     assert acc.xpath > 0.5 * acc.translate
 
 

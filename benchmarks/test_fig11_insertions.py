@@ -15,7 +15,7 @@ from repro.workloads.queries import make_workload
 def run_insertions(updater, dataset, cls):
     acc = PhaseAccumulator()
     for op in make_workload(dataset, "insert", cls, count=OPS_PER_CLASS):
-        acc.add(updater.insert(op.path, op.element, op.sem))
+        acc.add(updater.apply_op(op))
     return acc
 
 
@@ -39,7 +39,7 @@ def test_insertions_mostly_accepted():
     updater, dataset = fresh_updater(SIZES[-1])
     for cls in ("W1", "W2", "W3"):
         for op in make_workload(dataset, "insert", cls, count=OPS_PER_CLASS):
-            outcome = updater.insert(op.path, op.element, op.sem)
+            outcome = updater.apply_op(op)
             accepted += outcome.accepted
             total += 1
     assert accepted / total > 0.5

@@ -9,6 +9,7 @@ import pytest
 
 from conftest import fresh_updater
 from repro.bench.experiments import fig11g_vary_selectivity
+from repro.ops import InsertOp
 
 N_C = 360
 FANOUTS = (1, 2, 4)
@@ -27,7 +28,7 @@ def test_insert_fanout(benchmark, fanout):
         return (updater, f"//cnode[{filt}]/sub", (child_key, row[4])), {}
 
     def work(updater, path, sem):
-        return updater.insert(path, "cnode", sem)
+        return updater.apply_op(InsertOp(path, "cnode", sem))
 
     outcome = benchmark.pedantic(work, setup=setup, rounds=2, iterations=1)
     assert outcome.accepted

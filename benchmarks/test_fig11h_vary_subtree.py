@@ -8,6 +8,7 @@ import pytest
 
 from conftest import fresh_updater
 from repro.bench.experiments import fig11h_vary_subtree
+from repro.ops import InsertOp
 
 N_C = 360
 
@@ -52,6 +53,6 @@ def test_insert_subtree_extremes(benchmark, layer_index):
         return (updater, f"cnode[key={target}]/sub", (key, row[4])), {}
 
     def work(updater, path, sem):
-        return updater.insert(path, "cnode", sem)
+        return updater.apply_op(InsertOp(path, "cnode", sem))
 
     benchmark.pedantic(work, setup=setup, rounds=2, iterations=1)

@@ -20,9 +20,9 @@ def incremental_maintenance_seconds(n_c: int, kind: str) -> float:
     total = 0.0
     for op in make_workload(dataset, kind, "W2", count=OPS):
         if kind == "insert":
-            outcome = updater.insert(op.path, op.element, op.sem)
+            outcome = updater.apply_op(op)
         else:
-            outcome = updater.delete(op.path)
+            outcome = updater.apply_op(op)
         total += outcome.timings.get("maintain", 0.0)
     return total
 
@@ -38,9 +38,9 @@ def test_incremental_maintenance(benchmark, n_c, kind):
     def work(updater, ops):
         for op in ops:
             if op.kind == "insert":
-                updater.insert(op.path, op.element, op.sem)
+                updater.apply_op(op)
             else:
-                updater.delete(op.path)
+                updater.apply_op(op)
 
     benchmark.pedantic(work, setup=setup, rounds=2, iterations=1)
 

@@ -1,16 +1,17 @@
 """Propagating base-table updates into the published view.
 
 The reverse direction of the paper's pipeline (its reference [8]): a
-batch of relational inserts/deletes is applied directly to the base
-tables and the DAG-compressed view — together with the reachability
-matrix M and the topological order L — is synchronized incrementally,
-including cascading gains (a new course plus the edges hanging off it in
-the same batch) and garbage collection of unreachable subtrees.
+batch of relational inserts/deletes — a serializable ``BaseUpdateOp`` —
+is applied to the base tables and the DAG-compressed view — together
+with the reachability matrix M and the topological order L — is
+synchronized incrementally, including cascading gains (a new course plus
+the edges hanging off it in the same batch) and garbage collection of
+unreachable subtrees.
 
 Run:  python examples/base_update_propagation.py
 """
 
-from repro import XMLViewUpdater
+from repro import BaseUpdateOp, open_view
 from repro.relational.database import RelationalDelta
 from repro.workloads.registrar import build_registrar
 from repro.xmltree.serialize import to_xml_string
@@ -18,38 +19,43 @@ from repro.xmltree.serialize import to_xml_string
 
 def main() -> None:
     atg, db = build_registrar()
-    updater = XMLViewUpdater(atg, db)
-    print(f"initial view: {updater.store.num_nodes} nodes, "
-          f"{updater.store.num_edges} edges")
+    service = open_view(atg, db)
+    print(f"initial view: {service.store.num_nodes} nodes, "
+          f"{service.store.num_edges} edges")
 
     # One batch: a new CS course, wired below CS650 and enrolling a new
     # student — three different relations, cascading view effects.
-    delta = RelationalDelta()
-    delta.insert("course", ("CS777", "Compilers", "CS"))
-    delta.insert("prereq", ("CS650", "CS777"))
-    delta.insert("prereq", ("CS777", "CS240"))
-    delta.insert("student", ("S09", "Barbara"))
-    delta.insert("enroll", ("S09", "CS777"))
-    report = updater.apply_base_update(delta)
-    print(f"\nbatch 1 (5 base inserts): +{len(report.edges_added)} edges, "
-          f"+{report.nodes_created} nodes")
+    batch1 = BaseUpdateOp(ops=(
+        ("insert", "course", ("CS777", "Compilers", "CS")),
+        ("insert", "prereq", ("CS650", "CS777")),
+        ("insert", "prereq", ("CS777", "CS240")),
+        ("insert", "student", ("S09", "Barbara")),
+        ("insert", "enroll", ("S09", "CS777")),
+    ))
+    outcome = service.apply(batch1)
+    print(f"\nbatch 1 (5 base inserts): "
+          f"+{outcome.stats['edges_added']} edges, "
+          f"+{outcome.stats['nodes_created']} nodes")
+    print("as wire JSON:", batch1.to_json()[:80] + "...")
 
-    tree = updater.xml_tree()
+    tree = service.snapshot()
     cs777 = next(n for n in tree.iter() if n.sem[:1] == ("CS777",))
     print("\nCS777 as published (one of its occurrences):")
     print(to_xml_string(cs777))
 
-    # A deletion batch: retire CS240 entirely.
+    # A deletion batch: retire CS240 entirely.  A RelationalDelta built
+    # programmatically bridges into the algebra via from_delta().
     delta = RelationalDelta()
     delta.delete("course", db.table("course").get(("CS240",)))
     delta.delete("prereq", ("CS320", "CS240"))
     delta.delete("prereq", ("CS777", "CS240"))
-    report = updater.apply_base_update(delta)
-    print(f"\nbatch 2 (retire CS240): -{len(report.edges_removed)} edges, "
-          f"garbage-collected {report.nodes_collected} nodes")
+    outcome = service.apply(BaseUpdateOp.from_delta(delta))
+    print(f"\nbatch 2 (retire CS240): "
+          f"-{outcome.stats['edges_removed']} edges, "
+          f"garbage-collected {outcome.stats['nodes_collected']} nodes")
 
     print("\nConsistency with a fresh republish:",
-          updater.check_consistency() or "OK")
+          service.check_consistency() or "OK")
 
 
 if __name__ == "__main__":

@@ -13,28 +13,28 @@ Run:  python examples/index_backends_and_batching.py
 
 import time
 
-from repro import XMLViewUpdater, build_index
-from repro.core.updater import SideEffectPolicy
+from repro import ViewConfig, build_index, open_view
 from repro.workloads.queries import make_workload
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
 
 
-def fresh_updater(index_backend: str):
+def fresh_service(index_backend: str):
     dataset = build_synthetic(SyntheticConfig(n_c=300, seed=7))
-    updater = XMLViewUpdater(
+    service = open_view(
         dataset.atg,
         dataset.db,
-        side_effect_policy=SideEffectPolicy.PROPAGATE,
-        strict=False,
-        index_backend=index_backend,
+        config=ViewConfig(
+            side_effects="propagate", strict=False,
+            index_backend=index_backend,
+        ),
     )
-    return updater, dataset
+    return service, dataset
 
 
 def main() -> None:
     # -- 1. backend ablation ---------------------------------------------------
-    updater, dataset = fresh_updater("auto")
-    store, topo = updater.store, updater.topo
+    service, dataset = fresh_service("auto")
+    store, topo = service.store, service.topo
     print(f"store: {store.num_nodes} nodes, {store.num_edges} edges")
     indexes = {}
     for backend in ("sets", "bitset"):
@@ -53,21 +53,22 @@ def main() -> None:
         for op in make_workload(dataset, "delete", cls, count=4)
     ]
 
-    sequential, _ = fresh_updater("auto")
+    sequential, _ = fresh_service("auto")
     maintain = 0.0
     for op in ops:
-        maintain += sequential.delete(op.path).timings.get("maintain", 0.0)
+        maintain += sequential.apply(op).timings.get("maintain", 0.0)
     print(f"sequential: {len(ops)} deletions, "
           f"{sequential.maintenance_runs} maintenance passes, "
           f"{maintain * 1e3:.2f} ms background repair")
 
-    batched, _ = fresh_updater("auto")
-    with batched.batch() as session:
+    batched, _ = fresh_service("auto")
+    with batched.batch() as batch:
         for op in ops:
-            batched.delete(op.path)
+            batch.apply(op)
+    report = batch.session.report
     print(f"batched:    {len(ops)} deletions, "
-          f"{session.report.maintenance_passes} maintenance pass, "
-          f"{session.report.seconds * 1e3:.2f} ms background repair")
+          f"{report.maintenance_passes} maintenance pass, "
+          f"{report.seconds * 1e3:.2f} ms background repair")
 
     assert batched.reach.equals(sequential.reach)
     print("final reachability matrices identical; consistency:",

@@ -1,0 +1,65 @@
+"""The plan/commit protocol: preview an update's ΔV/ΔR before deciding.
+
+The paper's pipeline is two-phase — translate, *then* apply — and the
+service API exposes the seam: ``service.plan(op)`` runs validation,
+XPath evaluation, and both translation steps without touching any state.
+The resulting plan can be inspected (targets, side effects, ΔV, ΔR,
+per-phase timings), serialized for an approval queue, and then either
+committed (identical result to a direct apply) or aborted (the view is
+left byte-identical).
+
+Run:  python examples/plan_commit_preview.py
+"""
+
+import json
+
+from repro import DeleteOp, ReplaceOp, open_view
+from repro.workloads.registrar import build_registrar
+
+
+def preview(plan) -> None:
+    out = plan.outcome
+    print(f"  targets r[[p]] = {out.targets}")
+    print(f"  side effects   = {sorted(out.side_effects) or 'none'}")
+    print(f"  ΔV = {[f'{op.kind} {op.relation}({op.parent},{op.child})' for op in out.delta_v]}")
+    print(f"  ΔR = {[f'{op.kind} {op.relation}{op.row}' for op in out.delta_r]}")
+    foreground = {k: f"{v * 1e6:.0f}µs" for k, v in out.timings.items()}
+    print(f"  foreground phases already paid: {foreground}")
+
+
+def main() -> None:
+    atg, db = build_registrar()
+    service = open_view(atg, db)
+
+    # -- 1. plan a deletion, look at it, abort it --------------------------------
+    op = DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]")
+    print(f"plan {op}:")
+    plan = service.plan(op)
+    preview(plan)
+    plan.abort()
+    print("  -> aborted; prereq table untouched:", db.rows("prereq"))
+
+    # -- 2. plan a replace, ship it through an 'approval queue', commit ----------
+    op = ReplaceOp(
+        "course[cno=CS650]/prereq/course[cno=CS320]",
+        "course",
+        ("CS500", "Operating Systems"),
+    )
+    print(f"\nplan {op.kind} op (swap CS320 -> CS500 below CS650):")
+    plan = service.plan(op)
+    preview(plan)
+
+    # The preview is wire-representable — exactly what a reviewer UI or
+    # an audit log would receive:
+    wire = plan.to_dict(include_deltas=False)
+    print("\n  as JSON for the approval queue:")
+    print(" ", json.dumps({k: wire[k] for k in ("op", "state", "targets")}))
+
+    outcome = plan.commit()
+    print(f"\n  -> committed: accepted={outcome.accepted}; "
+          f"prereq table now {db.rows('prereq')}")
+    print("  consistency:", service.check_consistency() or "OK")
+
+
+if __name__ == "__main__":
+    main()

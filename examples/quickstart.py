@@ -1,18 +1,21 @@
 """Quickstart: publish the registrar XML view, update it, inspect the SQL side.
 
-Reproduces the paper's running example (Example 1):
+Reproduces the paper's running example (Example 1) on the public API:
 
-1. publish the CS registrar database as a recursive XML view,
-2. delete course CS320 from CS650's prerequisites (translated to a single
-   base-table deletion),
-3. insert CS500 as a new prerequisite of CS650,
-4. show that the relational database, the DAG-compressed view and the XML
-   tree all stay consistent.
+1. ``open_view`` publishes the CS registrar database as a recursive XML
+   view and returns the plan/commit service façade,
+2. a typed ``DeleteOp`` removes course CS320 from CS650's prerequisites
+   (translated to a single base-table deletion),
+3. an ``InsertOp`` is *planned* first — the paper's foreground phases
+   (targets, ΔV, ΔR) are previewed before any state changes — and then
+   committed,
+4. the relational database, the DAG-compressed view and the XML tree all
+   stay consistent.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import XMLViewUpdater
+from repro import DeleteOp, InsertOp, open_view
 from repro.workloads.registrar import build_registrar
 from repro.xmltree.serialize import to_xml_string
 
@@ -24,44 +27,55 @@ def show(title: str, text: str) -> None:
 
 def main() -> None:
     atg, db = build_registrar()
-    updater = XMLViewUpdater(atg, db)
+    service = open_view(atg, db)
 
-    show("Initial XML view (σ(I))", to_xml_string(updater.xml_tree()))
+    show("Initial XML view (σ(I))", to_xml_string(service.snapshot()))
     show(
         "DAG compression",
         f"tree would repeat shared subtrees; DAG stores "
-        f"{updater.store.num_nodes} nodes / {updater.store.num_edges} edges, "
-        f"sharing rate {updater.store.sharing_rate():.1%}",
+        f"{service.store.num_nodes} nodes / {service.store.num_edges} edges, "
+        f"sharing rate {service.store.sharing_rate():.1%}",
     )
 
-    # -- deletion --------------------------------------------------------------
-    outcome = updater.delete("course[cno=CS650]/prereq/course[cno=CS320]")
+    # -- deletion (one-shot apply) ---------------------------------------------
+    outcome = service.apply(
+        DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]")
+    )
     show(
-        "delete course[cno=CS650]/prereq/course[cno=CS320]",
+        "apply DeleteOp(course[cno=CS650]/prereq/course[cno=CS320])",
         "translated to ΔR = "
         + ", ".join(f"{op.kind} {op.relation}{op.row}" for op in outcome.delta_r),
     )
     print("prereq table is now:", db.rows("prereq"))
 
-    # -- insertion --------------------------------------------------------------
-    outcome = updater.insert(
-        "course[cno=CS650]/prereq", "course", ("CS500", "Operating Systems")
+    # -- insertion (two-phase: plan, preview, commit) ---------------------------
+    plan = service.plan(
+        InsertOp("course[cno=CS650]/prereq", "course",
+                 ("CS500", "Operating Systems"))
     )
     show(
-        "insert (course, CS500) into course[cno=CS650]/prereq",
-        "translated to ΔR = "
-        + ", ".join(f"{op.kind} {op.relation}{op.row}" for op in outcome.delta_r),
+        "plan InsertOp(course[cno=CS650]/prereq ← CS500)",
+        f"targets r[[p]] = {plan.targets}, side effects = "
+        f"{sorted(plan.side_effects) or 'none'}\n"
+        "previewed ΔR = "
+        + ", ".join(f"{op.kind} {op.relation}{op.row}" for op in plan.delta_r)
+        + "\n(nothing applied yet — a plan.abort() would discard this)",
     )
+    outcome = plan.commit()
 
-    show("Updated XML view", to_xml_string(updater.xml_tree()))
+    show("Updated XML view", to_xml_string(service.snapshot()))
 
-    problems = updater.check_consistency()
+    problems = service.check_consistency()
     print("\nConsistency with a fresh republish σ(ΔR(I)):",
           "OK" if not problems else problems)
 
-    print("\nPer-phase timings of the last update (seconds):")
+    print("\nPer-phase timings of the committed insert (seconds):")
     for phase, seconds in outcome.timings.items():
         print(f"  {phase:12s} {seconds:.6f}")
+
+    # Ops are wire values — this is what `python -m repro.apply` reads:
+    print("\nThe insert, as its JSON wire form:")
+    print(" ", plan.op.to_json())
 
 
 if __name__ == "__main__":

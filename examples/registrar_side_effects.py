@@ -14,10 +14,9 @@ This example shows both policies:
 Run:  python examples/registrar_side_effects.py
 """
 
-from repro import SideEffectPolicy, XMLViewUpdater
+from repro import DeleteOp, InsertOp, ViewConfig, open_view
 from repro.errors import SideEffectError
 from repro.workloads.registrar import build_registrar
-from repro.xmltree.serialize import to_xml_string
 
 
 def main() -> None:
@@ -29,48 +28,48 @@ def main() -> None:
     # Give the example a second prerequisite edge so the insert is not a
     # no-op: CS500 (instead of the already-present CS240).
     subtree = ("CS500", "Operating Systems")
-    updater = XMLViewUpdater(atg, db)  # policy defaults to ABORT
+    service = open_view(atg, db)  # ViewConfig defaults to side_effects="abort"
     print(f"insert (course, {subtree[0]}) into {path}")
     try:
-        updater.insert(path, "course", subtree)
+        service.apply(InsertOp(path, "course", subtree))
     except SideEffectError as exc:
         print("  -> rejected:", exc)
         witnesses = [
-            (updater.store.type_of(n), updater.store.sem_of(n))
+            (service.store.type_of(n), service.store.sem_of(n))
             for n in sorted(exc.affected)
         ]
         print("  -> unselected occurrences reachable via:", witnesses)
 
     # -- 2. propagate under the revised semantics --------------------------------
     atg, db = build_registrar()
-    updater = XMLViewUpdater(
-        atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
-    )
-    outcome = updater.insert(path, "course", subtree)
+    service = open_view(atg, db, ViewConfig(side_effects="propagate"))
+    outcome = service.apply(InsertOp(path, "course", subtree))
     print("\nwith PROPAGATE policy: accepted =", outcome.accepted)
     print("ΔR =", [(op.kind, op.relation, op.row) for op in outcome.delta_r])
 
-    tree = updater.xml_tree()
+    tree = service.snapshot()
     print("\nEvery CS320 occurrence now lists CS500 as a prerequisite:")
     for node in tree.iter():
         if node.tag == "course" and node.sem[0] == "CS320":
             prereqs = [c.sem[0] for c in node.child_by_tag("prereq").children]
             print("  CS320 occurrence -> prereqs:", prereqs)
 
-    print("\nConsistency:", updater.check_consistency() or "OK")
+    print("\nConsistency:", service.check_consistency() or "OK")
 
     # -- 3. deletions have subtler side effects (Section 2.1) --------------------
     atg, db = build_registrar()
-    updater = XMLViewUpdater(atg, db)
+    service = open_view(atg, db)
     try:
         # CS320's prereq list is shared between its root occurrence and
         # its occurrence under CS650: deleting via the root path only is
         # a side effect.
-        updater.delete("course[cno=CS320]/prereq/course[cno=CS240]")
+        service.apply(DeleteOp("course[cno=CS320]/prereq/course[cno=CS240]"))
     except SideEffectError as exc:
         print("\ndeletion via one occurrence rejected:", exc)
     # The descendant axis selects every occurrence: no side effect.
-    outcome = updater.delete("//course[cno=CS320]/prereq/course[cno=CS240]")
+    outcome = service.apply(
+        DeleteOp("//course[cno=CS320]/prereq/course[cno=CS240]")
+    )
     print("deletion via // accepted =", outcome.accepted)
     print("ΔR =", [(op.kind, op.relation, op.row) for op in outcome.delta_r])
 

@@ -17,16 +17,16 @@ must appear as a prerequisite but must NOT appear at the root.
 Run:  python examples/sat_insertion_demo.py
 """
 
-from repro import XMLViewUpdater
+from repro import InsertOp, open_view
 from repro.workloads.registrar import build_registrar
 
 
 def main() -> None:
     atg, db = build_registrar()
-    updater = XMLViewUpdater(atg, db)
+    service = open_view(atg, db)
 
     print("Views over the base relations (key-preserving SPJ):")
-    for view in updater.registry.views():
+    for view in service.registry.views():
         from repro.relational.sqlgen import select_sql
 
         print(f"  {view.name}:")
@@ -34,8 +34,8 @@ def main() -> None:
 
     # -- 1. new course as a prerequisite only ------------------------------------
     print("\ninsert (course, CS101 'Intro') into //course[cno=CS240]/prereq")
-    outcome = updater.insert(
-        "//course[cno=CS240]/prereq", "course", ("CS101", "Intro")
+    outcome = service.apply(
+        InsertOp("//course[cno=CS240]/prereq", "course", ("CS101", "Intro"))
     )
     print("  SAT instance:", outcome.stats.get("sat_vars"), "vars,",
           outcome.stats.get("sat_clauses"), "clauses")
@@ -47,7 +47,7 @@ def main() -> None:
 
     # -- 2. new course at the root: dept is forced the other way ------------------
     print("\ninsert (course, CS700 'Theory') into . (the root)")
-    outcome = updater.insert(".", "course", ("CS700", "Theory"))
+    outcome = service.apply(InsertOp(".", "course", ("CS700", "Theory")))
     for op in outcome.delta_r:
         print(f"  ΔR: {op.kind} {op.relation}{op.row}")
     print("  -> dept='CS' was *derived* from the view's selection condition")
@@ -55,13 +55,14 @@ def main() -> None:
     # -- 3. an impossible insertion is rejected ----------------------------------
     print("\ninsert (course, CS240 'WRONG-TITLE') into course[cno=CS650]/prereq")
     try:
-        updater.insert(
-            "course[cno=CS650]/prereq", "course", ("CS240", "WRONG-TITLE")
+        service.apply(
+            InsertOp("course[cno=CS650]/prereq", "course",
+                     ("CS240", "WRONG-TITLE"))
         )
     except Exception as exc:
         print(f"  -> rejected: {exc}")
 
-    print("\nConsistency:", updater.check_consistency() or "OK")
+    print("\nConsistency:", service.check_consistency() or "OK")
 
 
 if __name__ == "__main__":

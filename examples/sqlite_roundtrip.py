@@ -8,7 +8,7 @@ in-memory engine.
 Run:  python examples/sqlite_roundtrip.py
 """
 
-from repro import XMLViewUpdater
+from repro import open_view
 from repro.relational.sqlgen import select_sql
 from repro.relational.sqlite_backend import dump_to_sqlite, run_query_sqlite
 from repro.workloads.registrar import build_registrar, registrar_schemas
@@ -16,7 +16,7 @@ from repro.workloads.registrar import build_registrar, registrar_schemas
 
 def main() -> None:
     atg, db = build_registrar()
-    updater = XMLViewUpdater(atg, db)
+    service = open_view(atg, db)
 
     # -- the base database on disk ------------------------------------------------
     conn = dump_to_sqlite(db)
@@ -28,7 +28,7 @@ def main() -> None:
 
     # -- the edge views, executed as real SQL --------------------------------------
     print("\nEdge views evaluated on SQLite vs the in-memory engine:")
-    for view in updater.registry.views():
+    for view in service.registry.views():
         sqlite_rows = run_query_sqlite(conn, view.query, schemas=schemas)
         memory_rows = set(view.query.evaluate(db).rows)
         status = "match" if sqlite_rows == memory_rows else "MISMATCH"
@@ -36,7 +36,7 @@ def main() -> None:
         print(f"    SQL: {select_sql(view.query)[:100]}...")
 
     # -- the DAG coding itself on disk ---------------------------------------------
-    view_db = updater.store.to_database()
+    view_db = service.store.to_database()
     view_conn = dump_to_sqlite(view_db)
     print("\nDAG coding persisted to SQLite (V = gen_A + edge_A_B tables):")
     for name in sorted(view_db.table_names()):

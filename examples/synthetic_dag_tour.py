@@ -11,7 +11,7 @@ Run:  python examples/synthetic_dag_tour.py [n_c]
 import sys
 
 from repro.baselines.tree_updater import TreeUpdater
-from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.service import ViewConfig, open_view
 from repro.workloads.queries import make_workload
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
 
@@ -22,21 +22,20 @@ def main(n_c: int = 500) -> None:
     print(f"|C| = {len(db.table('C'))}, |F| = {len(db.table('F'))}, "
           f"|H| = {len(db.table('H'))}")
 
-    updater = XMLViewUpdater(
+    service = open_view(
         dataset.atg,
         db,
-        side_effect_policy=SideEffectPolicy.PROPAGATE,
-        strict=False,
+        config=ViewConfig(side_effects="propagate", strict=False),
     )
-    store = updater.store
+    store = service.store
     cnodes = [n for n in store.nodes() if store.type_of(n) == "cnode"]
     shared = sum(1 for n in cnodes if store.in_degree(n) > 1)
     print(f"published C instances: {len(cnodes)}")
     print(f"DAG: {store.num_nodes} nodes, {store.num_edges} edges")
     print(f"shared C instances: {shared} ({shared / len(cnodes):.1%}; "
           "paper reports 31.4%)")
-    print(f"|M| = {len(updater.reach)} reachability pairs, "
-          f"|L| = {len(updater.topo)}")
+    print(f"|M| = {len(service.reach)} reachability pairs, "
+          f"|L| = {len(service.topo)}")
 
     if n_c <= 300:
         try:
@@ -49,18 +48,18 @@ def main(n_c: int = 500) -> None:
     print("\nOne operation per workload class:")
     for cls in ("W1", "W2", "W3"):
         delete_op = make_workload(dataset, "delete", cls, count=1)[0]
-        outcome = updater.delete(delete_op.path)
+        outcome = service.apply(delete_op)
         phases = {k: f"{v * 1e3:.2f}ms" for k, v in outcome.timings.items()}
         print(f"  {cls} delete {delete_op.path}")
         print(f"     accepted={outcome.accepted} phases={phases}")
 
         insert_op = make_workload(dataset, "insert", cls, count=1)[0]
-        outcome = updater.insert(insert_op.path, insert_op.element, insert_op.sem)
+        outcome = service.apply(insert_op)
         phases = {k: f"{v * 1e3:.2f}ms" for k, v in outcome.timings.items()}
         print(f"  {cls} insert {insert_op.path} <- cnode{insert_op.sem}")
         print(f"     accepted={outcome.accepted} phases={phases}")
 
-    print("\nConsistency:", updater.check_consistency() or "OK")
+    print("\nConsistency:", service.check_consistency() or "OK")
 
 
 if __name__ == "__main__":

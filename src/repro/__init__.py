@@ -9,26 +9,46 @@ under key preservation (PTIME deletions, SAT-based insertions).
 
 Quickstart::
 
-    from repro import XMLViewUpdater
+    from repro import DeleteOp, InsertOp, ViewConfig, open_view
     from repro.workloads.registrar import build_registrar
 
     atg, db = build_registrar()
-    updater = XMLViewUpdater(atg, db)
-    print(updater.xml_tree())
-    updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+    service = open_view(atg, db)
+    print(service.snapshot())
+
+    # One-shot apply:
+    service.apply(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
+
+    # Or two-phase — preview ΔV/ΔR first, then commit (or abort):
+    plan = service.plan(InsertOp(".", "course", ("CS700", "Theory")))
+    print(plan.delta_r)
+    plan.commit()
 """
 
 from repro.atg import ATG, ProjectionRule, QueryRule, publish_store, publish_tree
 from repro.core import (
     DagXPathEvaluator,
+    PlanState,
     ReachabilityMatrix,
     SideEffectPolicy,
     TopoOrder,
     UpdateOutcome,
+    UpdatePlan,
     UpdateSession,
     XMLViewUpdater,
     compute_reach,
 )
+from repro.ops import (
+    BaseUpdateOp,
+    DeleteOp,
+    InsertOp,
+    ReplaceOp,
+    UpdateOperation,
+    op_from_dict,
+    op_from_json,
+    ops_from_jsonl,
+)
+from repro.service import RWLock, ViewConfig, ViewService, open_view
 from repro.dtd import DTD, parse_dtd
 from repro.index import (
     BitsetReachabilityIndex,
@@ -52,7 +72,7 @@ from repro.relational import (
 from repro.views import ViewStore, build_registry
 from repro.xpath import parse_xpath
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "ATG",
@@ -65,9 +85,23 @@ __all__ = [
     "SideEffectPolicy",
     "TopoOrder",
     "UpdateOutcome",
+    "UpdatePlan",
+    "PlanState",
     "UpdateSession",
     "XMLViewUpdater",
     "compute_reach",
+    "UpdateOperation",
+    "InsertOp",
+    "DeleteOp",
+    "ReplaceOp",
+    "BaseUpdateOp",
+    "op_from_dict",
+    "op_from_json",
+    "ops_from_jsonl",
+    "open_view",
+    "ViewService",
+    "ViewConfig",
+    "RWLock",
     "ReachabilityIndex",
     "SetReachabilityIndex",
     "BitsetReachabilityIndex",

@@ -1,0 +1,179 @@
+"""Apply JSON-lines update operations to a named workload's view.
+
+The smallest end-to-end exercise of the wire format: each input line is
+one serialized operation of the algebra (:mod:`repro.ops`), decoded with
+:func:`~repro.ops.op_from_json` and fed through the plan/commit
+:class:`~repro.service.ViewService`.
+
+Usage::
+
+    python -m repro.apply --workload registrar ops.jsonl
+    python -m repro.apply --workload synthetic:300 --policy propagate - < ops.jsonl
+    python -m repro.apply --workload registrar --plan-only ops.jsonl   # dry run
+    python -m repro.apply --workload registrar --json ops.jsonl        # JSONL out
+
+Input lines look like::
+
+    {"op": "delete", "path": "course[cno=CS650]/prereq/course[cno=CS320]"}
+    {"op": "insert", "path": ".", "element": "course", "sem": ["CS700", "Theory"]}
+    {"op": "replace", "path": "//course[cno=CS240]", "element": "course",
+     "sem": ["CS241", "Data Structures II"]}
+    {"op": "base_update", "ops": [["insert", "course", ["CS800", "Quantum", "CS"]]]}
+
+Exit status: 0 on success (rejected updates are *reported*, not fatal),
+1 when the final consistency check fails, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, TextIO
+
+from repro.errors import OpDecodeError, ReproError
+from repro.ops import ops_from_jsonl
+from repro.service import ViewConfig, open_view
+from repro.workloads import named_workload
+
+
+def _summary_line(index: int, payload: dict) -> str:
+    """One human-readable line per processed operation."""
+    dv = payload.get("delta_v") or {}
+    dr = payload.get("delta_r") or {}
+    status = "ok      " if payload["accepted"] else "REJECTED"
+    millis = payload.get("total_time", 0.0) * 1000.0
+    line = (
+        f"[{index:3d}] {payload['kind']:<11s} {status} "
+        f"targets={len(payload['targets'])} "
+        f"|dV|={dv.get('insertions', 0) + dv.get('deletions', 0)} "
+        f"|dR|={dr.get('insertions', 0) + dr.get('deletions', 0)} "
+        f"{millis:8.2f}ms"
+    )
+    if not payload["accepted"] and payload.get("reason"):
+        line += f"  ({payload['reason']})"
+    return line
+
+
+def run(
+    lines: Iterable[str],
+    workload: str = "registrar",
+    policy: str = "abort",
+    index_backend: str = "auto",
+    plan_only: bool = False,
+    as_json: bool = False,
+    out: TextIO | None = None,
+) -> int:
+    """Drive the service with a JSONL op stream; returns the exit code."""
+    if out is None:
+        out = sys.stdout
+    atg, db = named_workload(workload)
+    config = ViewConfig(
+        side_effects=policy, index_backend=index_backend, strict=False
+    )
+    service = open_view(atg, db, config=config)
+    accepted = rejected = count = 0
+    for op in ops_from_jsonl(lines):
+        count += 1
+        if plan_only:
+            plan = service.plan(op)
+            payload = plan.to_dict(include_deltas=as_json)
+            if plan.accepted:
+                plan.abort()
+        else:
+            outcome = service.apply(op)
+            payload = outcome.to_dict(include_deltas=as_json)
+        if payload["accepted"]:
+            accepted += 1
+        else:
+            rejected += 1
+        if as_json:
+            print(json.dumps(payload, sort_keys=True), file=out)
+        else:
+            print(_summary_line(count, payload), file=out)
+    problems = service.check_consistency()
+    if not as_json:
+        mode = "planned (dry run)" if plan_only else "applied"
+        stats = service.stats()
+        print(
+            f"{count} op(s) {mode} against {workload!r}: "
+            f"{accepted} accepted, {rejected} rejected; "
+            f"view now {stats['nodes']} nodes / {stats['edges']} edges; "
+            f"consistency {'OK' if not problems else 'FAILED'}",
+            file=out,
+        )
+    if problems:
+        for problem in problems:
+            print(f"consistency: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apply",
+        description="Apply JSON-lines update ops to a named workload view.",
+    )
+    parser.add_argument(
+        "ops_file",
+        help="JSONL file of operations, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--workload",
+        default="registrar",
+        help="registrar | bom | synthetic[:n_c[:seed]] | chain[:depth]",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("abort", "propagate"),
+        default="abort",
+        help="side-effect policy (default: abort)",
+    )
+    parser.add_argument(
+        "--backend",
+        dest="index_backend",
+        default="auto",
+        help="reachability-index backend (auto | bitset | sets)",
+    )
+    parser.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="dry run: plan each op, print the preview, abort it",
+    )
+    parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit one JSON outcome per line instead of the summary table",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.ops_file == "-":
+            lines = sys.stdin
+            return run(
+                lines,
+                workload=args.workload,
+                policy=args.policy,
+                index_backend=args.index_backend,
+                plan_only=args.plan_only,
+                as_json=args.as_json,
+            )
+        with open(args.ops_file, "r", encoding="utf-8") as handle:
+            return run(
+                handle,
+                workload=args.workload,
+                policy=args.policy,
+                index_backend=args.index_backend,
+                plan_only=args.plan_only,
+                as_json=args.as_json,
+            )
+    except OpDecodeError as exc:
+        print(f"bad input: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,10 +125,21 @@ class SubtreeResult:
     """Every node of the subtree DAG N_A, including shared regions."""
 
     def rollback(self, store: ViewStore) -> None:
-        """Remove the newly interned (still edge-less) nodes from the store."""
+        """Remove the newly interned (still edge-less) nodes from the store.
+
+        When the interned ids are still the top of the id space (nothing
+        interned since — guaranteed inside a rejected update or an
+        aborted :class:`~repro.core.updater.UpdatePlan`), the id counter
+        is wound back too (:meth:`ViewStore.release_ids`), so an aborted
+        plan leaves the store byte-identical and later inserts allocate
+        the same ids a never-planned store would.
+        """
+        removed: list[int] = []
         for node in reversed(self.new_nodes):
             if store.has_node(node):
                 store.remove_node(node)
+                removed.append(node)
+        store.release_ids(removed)
 
 
 def publish_subtree(

@@ -18,8 +18,9 @@ from repro.baselines.tree_updater import TreeUpdater
 from repro.bench.harness import PhaseAccumulator, format_table
 from repro.core.reachability import compute_reach
 from repro.core.topo import TopoOrder
-from repro.core.updater import SideEffectPolicy, XMLViewUpdater
 from repro.index import BACKENDS, build_index
+from repro.ops import DeleteOp, InsertOp
+from repro.service import ViewConfig, ViewService, open_view
 from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.relview.minimal import minimal_deletion_exact, minimal_deletion_greedy
 from repro.workloads.queries import make_workload
@@ -31,17 +32,19 @@ CLASSES = ("W1", "W2", "W3")
 
 def _updater_for(
     n_c: int, seed: int = 42, index_backend: str = "auto"
-) -> tuple[XMLViewUpdater, object]:
+) -> tuple[ViewService, object]:
     dataset = build_synthetic(SyntheticConfig(n_c=n_c, seed=seed))
-    updater = XMLViewUpdater(
+    service = open_view(
         dataset.atg,
         dataset.db,
-        side_effect_policy=SideEffectPolicy.PROPAGATE,
-        strict=False,
-        sat_solver="auto",
-        index_backend=index_backend,
+        config=ViewConfig(
+            side_effects="propagate",
+            strict=False,
+            sat_solver="auto",
+            index_backend=index_backend,
+        ),
     )
-    return updater, dataset
+    return service, dataset
 
 
 # ---------------------------------------------------------------------------
@@ -121,11 +124,7 @@ def fig11_series(
             ops = make_workload(dataset, kind, cls, count=ops_per_class)
             acc = PhaseAccumulator()
             for op in ops:
-                if op.kind == "delete":
-                    outcome = updater.delete(op.path)
-                else:
-                    outcome = updater.insert(op.path, op.element, op.sem)
-                acc.add(outcome)
+                acc.add(updater.apply(op))
             row = {"class": cls, "C": n_c, "kind": kind, **acc.as_row()}
             rows.append(row)
     if print_report:
@@ -171,7 +170,7 @@ def fig11g_vary_selectivity(
                 if key is None:
                     continue
                 path = f"//sub/cnode[key={key}]"
-                outcome = updater.delete(path)
+                outcome = updater.apply(DeleteOp(path))
                 selected = outcome.stats.get("ep_edges", 0)
             else:
                 keys = _keys_with_children(updater, dataset, fanout)
@@ -181,8 +180,8 @@ def fig11g_vary_selectivity(
                 child_key = _existing_key(dataset)
                 row_c = dataset.db.table("C").get((child_key,))
                 path = f"//cnode[{filt}]/sub"
-                outcome = updater.insert(
-                    path, "cnode", (child_key, row_c[4])
+                outcome = updater.apply(
+                    InsertOp(path, "cnode", (child_key, row_c[4]))
                 )
                 selected = len(outcome.targets)
             acc = PhaseAccumulator()
@@ -301,8 +300,8 @@ def fig11h_vary_subtree(
         key = keys[0]
         row_c = dataset.db.table("C").get((key,))
         updater_fresh, dataset_fresh = _updater_for(n_c)
-        outcome = updater_fresh.insert(
-            f"cnode[key={target_key}]/sub", "cnode", (key, row_c[4])
+        outcome = updater_fresh.apply(
+            InsertOp(f"cnode[key={target_key}]/sub", "cnode", (key, row_c[4]))
         )
         acc = PhaseAccumulator()
         acc.add(outcome)
@@ -348,12 +347,12 @@ def table1_incremental_vs_recompute(
         ins = make_workload(dataset, "insert", "W2", count=ops)
         inc_insert = 0.0
         for op in ins:
-            outcome = updater.insert(op.path, op.element, op.sem)
+            outcome = updater.apply(op)
             inc_insert += outcome.timings.get("maintain", 0.0)
         dels = make_workload(dataset, "delete", "W2", count=ops)
         inc_delete = 0.0
         for op in dels:
-            outcome = updater.delete(op.path)
+            outcome = updater.apply(op)
             inc_delete += outcome.timings.get("maintain", 0.0)
         timings = recompute_structures(updater.store)
         rows.append(
@@ -442,7 +441,7 @@ def ablation_index_backends(
             maintain = 0.0
             for cls in CLASSES:
                 for op in make_workload(dataset, "delete", cls, count=ops):
-                    outcome = updater.delete(op.path)
+                    outcome = updater.apply(op)
                     maintain += outcome.timings.get("maintain", 0.0)
             rows.append(
                 {
@@ -478,7 +477,7 @@ def ablation_dag_vs_tree(
     for n_c in sizes:
         updater, dataset = _updater_for(n_c)
         t0 = time.perf_counter()
-        dag_result = updater.evaluate_xpath(path)
+        dag_result = updater.xpath(path)
         t1 = time.perf_counter()
         try:
             tree = TreeUpdater(dataset.atg, dataset.db, max_nodes=2_000_000)
@@ -534,16 +533,16 @@ def ablation_chain_depth(
     for depth in depths:
         atg, db = build_chain(depth=depth, students=1)
         t0 = time.perf_counter()
-        updater = XMLViewUpdater(
-            atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE,
-            strict=False,
+        updater = open_view(
+            atg, db,
+            config=ViewConfig(side_effects="propagate", strict=False),
         )
         t1 = time.perf_counter()
-        result = updater.evaluate_xpath(f"//course[cno=K{depth - 1:04d}]")
+        result = updater.xpath(f"//course[cno=K{depth - 1:04d}]")
         t2 = time.perf_counter()
-        outcome = updater.delete(
+        outcome = updater.apply(DeleteOp(
             f"//course[cno=K{max(0, depth - 2):04d}]//student[ssn=T000]"
-        )
+        ))
         rows.append(
             {
                 "depth": depth,
@@ -578,7 +577,7 @@ def ablation_minimal_delete(
     dels = make_workload(dataset, "delete", "W2", count=ops)
     rows = []
     for op in dels:
-        result = updater.evaluate_xpath(op.path)
+        result = updater.xpath(op.path)
         if not result.targets:
             continue
         from repro.core.translate import xdelete

@@ -22,8 +22,10 @@ from repro.core.translate import xinsert, xdelete
 from repro.core.maintenance import maintain_insert, maintain_delete
 from repro.core.updater import (
     BatchReport,
+    PlanState,
     SideEffectPolicy,
     UpdateOutcome,
+    UpdatePlan,
     UpdateSession,
     XMLViewUpdater,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "maintain_delete",
     "XMLViewUpdater",
     "UpdateOutcome",
+    "UpdatePlan",
+    "PlanState",
     "UpdateSession",
     "BatchReport",
     "SideEffectPolicy",

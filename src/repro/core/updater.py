@@ -16,6 +16,16 @@ section reports them separately):
 6. **maintain** — Δ(M,L)insert / Δ(M,L)delete plus gen-table GC
    (Section 3.4; "background" work, reported separately).
 
+The paper's two-phase structure is now explicit in the API: updates are
+values (:mod:`repro.ops`), :meth:`XMLViewUpdater.plan` runs the
+foreground phases 1–4 *without mutating any state* and returns an
+:class:`UpdatePlan` (targets, side effects, ΔV, ΔR, phase timings), and
+``plan.commit()`` / ``plan.abort()`` complete or discard it.
+:meth:`XMLViewUpdater.apply_op` is literally ``plan(op).commit()``, so a
+committed plan produces byte-identical ΔV/ΔR to a direct apply.  The
+historical ``insert()``/``delete()`` methods remain as
+deprecation-warning shims over the op dispatch.
+
 Side effects are governed by :class:`SideEffectPolicy`: ``ABORT``
 rejects the update (the user said no), ``PROPAGATE`` carries on under
 the paper's revised semantics (the update applies at every occurrence).
@@ -26,6 +36,7 @@ from __future__ import annotations
 import enum
 import random
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.atg.model import ATG
@@ -49,12 +60,21 @@ from repro.core.topo import TopoOrder
 from repro.core.translate import xdelete, xinsert
 from repro.dtd.validate import StaticValidator
 from repro.errors import (
+    PlanError,
     ReproError,
     SideEffectError,
+    StalePlanError,
     UpdateRejectedError,
     ValidationError,
 )
 from repro.index import ReachabilityIndex, build_index, resolve_backend
+from repro.ops import (
+    BaseUpdateOp,
+    DeleteOp,
+    InsertOp,
+    ReplaceOp,
+    UpdateOperation,
+)
 from repro.relational.database import Database, RelationalDelta
 from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.relview.insert import translate_insertions
@@ -95,6 +115,47 @@ class UpdateOutcome:
         """Everything except the background maintenance phase."""
         return sum(t for k, t in self.timings.items() if k != "maintain")
 
+    def to_dict(self, include_deltas: bool = False) -> dict:
+        """A JSON-safe summary (wire format, bench records, CLI output).
+
+        ``include_deltas=True`` additionally embeds the full ΔV/ΔR op
+        lists; by default only their insert/delete counts are included.
+        """
+
+        def delta_summary(delta, encode) -> dict | None:
+            if delta is None:
+                return None
+            ops = list(delta)
+            summary: dict = {
+                "insertions": sum(1 for op in ops if op.kind == "insert"),
+                "deletions": sum(1 for op in ops if op.kind == "delete"),
+            }
+            if include_deltas:
+                summary["ops"] = [encode(op) for op in ops]
+            return summary
+
+        return {
+            "kind": self.kind,
+            "accepted": self.accepted,
+            "reason": self.reason,
+            "targets": [int(t) for t in self.targets],
+            "side_effects": sorted(int(n) for n in self.side_effects),
+            "timings": {k: float(v) for k, v in self.timings.items()},
+            "total_time": float(self.total_time),
+            "foreground_time": float(self.foreground_time),
+            "stats": {k: v for k, v in self.stats.items()},
+            "delta_v": delta_summary(
+                self.delta_v,
+                lambda op: [
+                    op.kind, op.parent_type, op.child_type, op.parent, op.child
+                ],
+            ),
+            "delta_r": delta_summary(
+                self.delta_r,
+                lambda op: [op.kind, op.relation, list(op.row)],
+            ),
+        }
+
 
 class _Timer:
     def __init__(self, outcome: UpdateOutcome, phase: str):
@@ -111,6 +172,166 @@ class _Timer:
             self.outcome.timings.get(self.phase, 0.0) + elapsed
         )
         return False
+
+
+class PlanState(enum.Enum):
+    """Lifecycle of an :class:`UpdatePlan`."""
+
+    PLANNED = "planned"
+    REJECTED = "rejected"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    FAILED = "failed"
+    """Commit raised mid-apply; the plan is dead and cannot be aborted
+    (ΔR/ΔV may be partially applied — the exception carries the cause)."""
+
+
+class UpdatePlan:
+    """The foreground half of one update, held before any mutation.
+
+    Produced by :meth:`XMLViewUpdater.plan` (or
+    :meth:`repro.service.ViewService.plan`).  Exposes everything the
+    paper computes in phases 1–4 — ``targets`` (``r[[p]]``),
+    ``side_effects``, ``delta_v``, ``delta_r``, per-phase ``timings``
+    and ``stats`` — *before* the base database, the store's edges, ``M``
+    or ``L`` are touched.  :meth:`commit` runs the apply + maintain
+    phases (identical ΔV/ΔR to a direct ``apply_op``); :meth:`abort`
+    discards the plan and leaves all state byte-identical.
+
+    At most one plan may be outstanding per updater (a planned insert
+    holds freshly interned gen-table ids); any other mutation between
+    ``plan()`` and ``commit()`` raises :class:`StalePlanError`.
+    """
+
+    def __init__(self, op: UpdateOperation, updater: "XMLViewUpdater"):
+        self.op = op
+        self.updater = updater
+        self.outcome = UpdateOutcome(kind=op.kind, accepted=False)
+        self.state = PlanState.REJECTED  # plan() flips to PLANNED on success
+        #: (subtree, attach targets) pairs, replayed in order at commit.
+        self._inserts: list[tuple[SubtreeResult, list[int]]] = []
+        #: Feed for Δ(M,L)delete: the eval result or the bare targets.
+        self._delete_feed: EvalResult | list[int] | None = None
+        self._base_delta: RelationalDelta | None = None
+        self._version = updater._version
+        #: Optional lock context factory (set by the service façade).
+        self._write_lock = None
+
+    # -- previews -----------------------------------------------------------------
+
+    @property
+    def accepted(self) -> bool:
+        """Whether planning succeeded (the update was not rejected)."""
+        return self.state is not PlanState.REJECTED
+
+    @property
+    def targets(self) -> list[int]:
+        return self.outcome.targets
+
+    @property
+    def side_effects(self) -> set[int]:
+        return self.outcome.side_effects
+
+    @property
+    def delta_v(self) -> ViewDelta | None:
+        return self.outcome.delta_v
+
+    @property
+    def delta_r(self) -> RelationalDelta | None:
+        return self.outcome.delta_r
+
+    @property
+    def timings(self) -> dict[str, float]:
+        return self.outcome.timings
+
+    @property
+    def stats(self) -> dict[str, float]:
+        return self.outcome.stats
+
+    def to_dict(self, include_deltas: bool = True) -> dict:
+        """JSON-safe preview of the planned update (dry-run output)."""
+        payload = self.outcome.to_dict(include_deltas=include_deltas)
+        payload["accepted"] = self.accepted  # planned, not yet committed
+        payload["state"] = self.state.value
+        payload["op"] = self.op.to_dict()
+        return payload
+
+    # -- completion ---------------------------------------------------------------
+
+    def _locked(self):
+        if self._write_lock is None:
+            import contextlib
+
+            return contextlib.nullcontext()
+        return self._write_lock()
+
+    def commit(self) -> UpdateOutcome:
+        """Apply ΔR/ΔV and run the background Δ(M,L) maintenance."""
+        with self._locked():
+            return self._commit_inner()
+
+    def _commit_inner(self) -> UpdateOutcome:
+        if self.state is PlanState.REJECTED:
+            raise PlanError(
+                f"cannot commit a rejected plan ({self.outcome.reason})"
+            )
+        if self.state is not PlanState.PLANNED:
+            raise PlanError(f"cannot commit a plan in state {self.state.value}")
+        updater = self.updater
+        if self._version != updater._version:
+            raise StalePlanError(
+                "the view changed since this plan was prepared; re-plan"
+            )
+        outcome = self.outcome
+        # The plan completes now, one way or the other: release the slot
+        # up front so a commit failure never wedges the updater (and so
+        # a base-update commit can pass apply_base_update's plan guard).
+        updater._outstanding_plan = None
+        try:
+            if self._base_delta is not None:
+                with _Timer(outcome, "apply"):
+                    report = updater.apply_base_update(self._base_delta)
+                outcome.stats.update(
+                    edges_added=len(report.edges_added),
+                    edges_removed=len(report.edges_removed),
+                    nodes_created=report.nodes_created,
+                    nodes_collected=report.nodes_collected,
+                )
+            else:
+                with _Timer(outcome, "apply"):
+                    if outcome.delta_r is not None:
+                        updater.db.apply(outcome.delta_r)
+                    if outcome.delta_v is not None:
+                        updater.store.apply(outcome.delta_v)
+                with _Timer(outcome, "maintain"):
+                    updater._maintain(self._inserts, self._delete_feed)
+        except BaseException:
+            self.state = PlanState.FAILED
+            updater._version += 1  # state may have partially changed
+            raise
+        outcome.accepted = True
+        self.state = PlanState.COMMITTED
+        updater._version += 1
+        updater._post_verify()
+        return outcome
+
+    def abort(self) -> None:
+        """Discard the plan; store, ``M`` and ``L`` stay byte-identical.
+
+        Aborting is idempotent, and a no-op on a rejected plan (which
+        keeps its REJECTED state — the rejection stays on record)."""
+        with self._locked():
+            if self.state in (PlanState.ABORTED, PlanState.REJECTED):
+                return
+            if self.state is not PlanState.PLANNED:
+                raise PlanError(
+                    f"cannot abort a {self.state.value} plan"
+                )
+            for subtree, _ in reversed(self._inserts):
+                subtree.rollback(self.updater.store)
+            self.state = PlanState.ABORTED
+            if self.updater._outstanding_plan is self:
+                self.updater._outstanding_plan = None
 
 
 class XMLViewUpdater:
@@ -167,6 +388,9 @@ class XMLViewUpdater:
         self.maintenance_runs = 0
         """Number of Δ(M,L) repair passes run (batching amortizes them)."""
         self._session: UpdateSession | None = None
+        self._outstanding_plan: UpdatePlan | None = None
+        self._version = 0
+        """Bumped on every committed mutation; guards stale plans."""
 
     # -- public API -----------------------------------------------------------
 
@@ -179,132 +403,89 @@ class XMLViewUpdater:
         parsed = parse_xpath(path) if isinstance(path, str) else path
         return self._evaluator().evaluate(parsed)
 
+    def apply_op(self, op: UpdateOperation) -> UpdateOutcome:
+        """Translate and apply one typed update operation.
+
+        The single write entry point: dispatches on the op kind, runs the
+        foreground phases (:meth:`plan`) and commits.  Rejections raise
+        in ``strict`` mode and return an unaccepted
+        :class:`UpdateOutcome` otherwise.
+        """
+        plan = self.plan(op)
+        if plan.state is PlanState.REJECTED:
+            return plan.outcome  # strict mode raised inside plan()
+        return plan.commit()
+
+    def plan(self, op: UpdateOperation) -> UpdatePlan:
+        """Run the foreground phases (validate → ΔR) without mutating.
+
+        Returns an :class:`UpdatePlan` previewing targets, side effects,
+        ΔV, ΔR and phase timings; call ``commit()`` to apply (identical
+        ΔV/ΔR to :meth:`apply_op`) or ``abort()`` to discard.  Only one
+        plan may be outstanding at a time.
+        """
+        if not isinstance(op, UpdateOperation):
+            raise TypeError(
+                f"expected an update operation from repro.ops, got {op!r}"
+            )
+        if self._outstanding_plan is not None:
+            raise PlanError(
+                "another plan is outstanding; commit or abort it first"
+            )
+        plan = UpdatePlan(op, self)
+        try:
+            if isinstance(op, InsertOp):
+                self._plan_insert(op, plan)
+            elif isinstance(op, DeleteOp):
+                self._plan_delete(op, plan)
+            elif isinstance(op, ReplaceOp):
+                self._plan_replace(op, plan)
+            elif isinstance(op, BaseUpdateOp):
+                plan._base_delta = op.to_delta()
+                plan.outcome.delta_r = plan._base_delta
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unsupported operation {op!r}")
+        except (ValidationError, UpdateRejectedError, SideEffectError) as exc:
+            plan.outcome.reason = str(exc)
+            plan.state = PlanState.REJECTED
+            if self.strict:
+                raise
+            return plan
+        plan.state = PlanState.PLANNED
+        self._outstanding_plan = plan
+        return plan
+
+    # -- legacy shims ---------------------------------------------------------
+
     def insert(
         self, path: str | XPath, element: str, sem: tuple
     ) -> UpdateOutcome:
-        """``insert (element, sem) into path`` (paper Section 2.1)."""
-        outcome = UpdateOutcome(kind="insert", accepted=False)
-        parsed = parse_xpath(path) if isinstance(path, str) else path
-        try:
-            with _Timer(outcome, "validate"):
-                self.validator.validate_insert(parsed, element)
-            with _Timer(outcome, "xpath"):
-                result = self._evaluator().evaluate(parsed, mode="insert")
-            outcome.targets = list(result.targets)
-            outcome.side_effects = set(result.side_effects)
-            if not result.targets:
-                raise UpdateRejectedError(f"path {parsed} selects no node")
-            self._check_side_effects(result)
-            with _Timer(outcome, "translate_v"):
-                subtree = publish_subtree(
-                    self.atg, self.db, self.store, element, sem
-                )
-                cyclic = [t for t in result.targets if t in subtree.all_nodes]
-                if cyclic:
-                    subtree.rollback(self.store)
-                    raise UpdateRejectedError(
-                        f"inserting {element} {sem!r} under node(s) "
-                        f"{cyclic} creates a cycle: the target lies inside "
-                        "the inserted subtree, so the XML view would be "
-                        "infinite"
-                    )
-                delta_v = xinsert(self.store, result.targets, subtree)
-            outcome.delta_v = delta_v
-            try:
-                with _Timer(outcome, "translate_r"):
-                    plan = translate_insertions(
-                        self.registry,
-                        self.store,
-                        self.db,
-                        delta_v,
-                        solver=self.sat_solver,
-                        rng=self.rng,
-                    )
-            except Exception:
-                subtree.rollback(self.store)
-                raise
-            outcome.delta_r = plan.delta_r
-            outcome.stats.update(
-                sat_vars=plan.num_vars,
-                sat_clauses=plan.num_clauses,
-                subtree_nodes=subtree.node_count,
-                subtree_edges=subtree.edge_count,
-                targets=len(result.targets),
-            )
-            with _Timer(outcome, "apply"):
-                self.db.apply(plan.delta_r)
-                self.store.apply(delta_v)
-            with _Timer(outcome, "maintain"):
-                if self._session is not None:
-                    self._session.defer_insert(subtree, result.targets)
-                else:
-                    self.last_maintenance = maintain_insert(
-                        self.store, self.topo, self.reach, subtree,
-                        result.targets,
-                    )
-                    self.maintenance_runs += 1
-            outcome.accepted = True
-            self._post_verify()
-            return outcome
-        except (ValidationError, UpdateRejectedError, SideEffectError) as exc:
-            outcome.reason = str(exc)
-            if self.strict:
-                raise
-            return outcome
+        """Deprecated: use ``apply_op(InsertOp(path, element, sem))``."""
+        warnings.warn(
+            "XMLViewUpdater.insert() is deprecated; construct an "
+            "InsertOp and use apply_op() (or repro.open_view().apply())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.apply_op(
+            InsertOp(path=_path_str(path), element=element, sem=tuple(sem))
+        )
 
     def delete(self, path: str | XPath) -> UpdateOutcome:
-        """``delete path`` (paper Section 2.1)."""
-        outcome = UpdateOutcome(kind="delete", accepted=False)
-        parsed = parse_xpath(path) if isinstance(path, str) else path
-        try:
-            with _Timer(outcome, "validate"):
-                self.validator.validate_delete(parsed)
-            with _Timer(outcome, "xpath"):
-                result = self._evaluator().evaluate(parsed, mode="delete")
-            outcome.targets = list(result.targets)
-            outcome.side_effects = set(result.side_effects)
-            if not result.targets:
-                raise UpdateRejectedError(f"path {parsed} selects no node")
-            self._check_side_effects(result)
-            with _Timer(outcome, "translate_v"):
-                delta_v = xdelete(self.store, result)
-            outcome.delta_v = delta_v
-            with _Timer(outcome, "translate_r"):
-                rows = expand_view_deletions(
-                    self.registry, self.store, self.db, delta_v
-                )
-                plan = translate_deletions(self.registry, self.db, rows)
-            outcome.delta_r = plan.delta_r
-            outcome.stats.update(
-                ep_edges=len(result.ep),
-                view_rows=len(plan.view_rows),
-                targets=len(result.targets),
-            )
-            with _Timer(outcome, "apply"):
-                self.db.apply(plan.delta_r)
-                self.store.apply(delta_v)
-            with _Timer(outcome, "maintain"):
-                if self._session is not None:
-                    self._session.defer_delete(result.targets)
-                else:
-                    self.last_maintenance = maintain_delete(
-                        self.store, self.topo, self.reach, result
-                    )
-                    self.maintenance_runs += 1
-            outcome.accepted = True
-            self._post_verify()
-            return outcome
-        except (ValidationError, UpdateRejectedError, SideEffectError) as exc:
-            outcome.reason = str(exc)
-            if self.strict:
-                raise
-            return outcome
+        """Deprecated: use ``apply_op(DeleteOp(path))``."""
+        warnings.warn(
+            "XMLViewUpdater.delete() is deprecated; construct a "
+            "DeleteOp and use apply_op() (or repro.open_view().apply())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.apply_op(DeleteOp(path=_path_str(path)))
 
     def batch(self) -> "UpdateSession":
         """Open a batched update session (the paper's "background" mode).
 
-        Inside ``with updater.batch():`` every accepted insert/delete
-        runs its foreground phases (validate, xpath, translate, apply)
+        Inside ``with updater.batch():`` every accepted update runs its
+        foreground phases (validate, xpath, translate, apply)
         immediately, but the expensive ``M`` repair is queued; leaving
         the block runs **one** deferred Δ(M,L) maintenance pass for the
         whole batch instead of one per update.  ``L`` stays maintained
@@ -322,7 +503,227 @@ class XMLViewUpdater:
             raise ReproError("an update session is already active")
         return UpdateSession(self)
 
+    # -- the foreground phases, per op kind ------------------------------------
+
+    def _plan_insert(self, op: InsertOp, plan: UpdatePlan) -> None:
+        outcome = plan.outcome
+        parsed = parse_xpath(op.path)
+        with _Timer(outcome, "validate"):
+            self.validator.validate_insert(parsed, op.element)
+        with _Timer(outcome, "xpath"):
+            result = self._evaluator().evaluate(parsed, mode="insert")
+        outcome.targets = list(result.targets)
+        outcome.side_effects = set(result.side_effects)
+        if not result.targets:
+            raise UpdateRejectedError(f"path {parsed} selects no node")
+        self._check_side_effects(result)
+        with _Timer(outcome, "translate_v"):
+            subtree = publish_subtree(
+                self.atg, self.db, self.store, op.element, op.sem
+            )
+            cyclic = [t for t in result.targets if t in subtree.all_nodes]
+            if cyclic:
+                subtree.rollback(self.store)
+                raise UpdateRejectedError(
+                    f"inserting {op.element} {op.sem!r} under node(s) "
+                    f"{cyclic} creates a cycle: the target lies inside "
+                    "the inserted subtree, so the XML view would be "
+                    "infinite"
+                )
+            delta_v = xinsert(self.store, result.targets, subtree)
+        outcome.delta_v = delta_v
+        rplan = self._translate_insertions_guarded(subtree, delta_v, outcome)
+        outcome.delta_r = rplan.delta_r
+        outcome.stats.update(
+            sat_vars=rplan.num_vars,
+            sat_clauses=rplan.num_clauses,
+            subtree_nodes=subtree.node_count,
+            subtree_edges=subtree.edge_count,
+            targets=len(result.targets),
+        )
+        plan._inserts.append((subtree, list(result.targets)))
+
+    def _plan_delete(self, op: DeleteOp, plan: UpdatePlan) -> None:
+        outcome = plan.outcome
+        parsed = parse_xpath(op.path)
+        with _Timer(outcome, "validate"):
+            self.validator.validate_delete(parsed)
+        with _Timer(outcome, "xpath"):
+            result = self._evaluator().evaluate(parsed, mode="delete")
+        outcome.targets = list(result.targets)
+        outcome.side_effects = set(result.side_effects)
+        if not result.targets:
+            raise UpdateRejectedError(f"path {parsed} selects no node")
+        self._check_side_effects(result)
+        with _Timer(outcome, "translate_v"):
+            delta_v = xdelete(self.store, result)
+        outcome.delta_v = delta_v
+        with _Timer(outcome, "translate_r"):
+            rows = expand_view_deletions(
+                self.registry, self.store, self.db, delta_v
+            )
+            rplan = translate_deletions(self.registry, self.db, rows)
+        outcome.delta_r = rplan.delta_r
+        outcome.stats.update(
+            ep_edges=len(result.ep),
+            view_rows=len(rplan.view_rows),
+            targets=len(result.targets),
+        )
+        plan._delete_feed = result
+
+    def _plan_replace(self, op: ReplaceOp, plan: UpdatePlan) -> None:
+        """``replace path with (element, sem)``: one composite plan.
+
+        The selected nodes are detached (Xdelete) and ``ST(element,
+        sem)`` is attached at the parents they hung off — the vacated
+        ``Ep(r)`` parent ends.  An edge the deletion would remove and
+        the replacement would immediately re-add (replacing a node with
+        itself) is pruned from *both* sides, so its base rows survive —
+        otherwise the deletion ΔR would drop rows the insertion
+        translation (which runs against the pre-update snapshot)
+        believes are still there.  ΔR is the deletion translation
+        followed by the insertion translation, in that order.
+        """
+        outcome = plan.outcome
+        parsed = parse_xpath(op.path)
+        with _Timer(outcome, "validate"):
+            self.validator.validate_replace(parsed, op.element)
+        with _Timer(outcome, "xpath"):
+            result = self._evaluator().evaluate(parsed, mode="delete")
+        outcome.targets = list(result.targets)
+        outcome.side_effects = set(result.side_effects)
+        if not result.targets:
+            raise UpdateRejectedError(f"path {parsed} selects no node")
+        self._check_side_effects(result)
+        # The attach points: every parent that loses a child, in Ep order.
+        parents: list[int] = []
+        for parent, _, _ in result.ep:
+            if parent not in parents:
+                parents.append(parent)
+        with _Timer(outcome, "translate_v"):
+            raw_del = xdelete(self.store, result)
+            subtree = publish_subtree(
+                self.atg, self.db, self.store, op.element, op.sem
+            )
+        try:
+            with _Timer(outcome, "translate_v"):
+                cyclic = [p for p in parents if p in subtree.all_nodes]
+                if cyclic:
+                    raise UpdateRejectedError(
+                        f"replacing with {op.element} {op.sem!r} under "
+                        f"node(s) {cyclic} creates a cycle: an attach "
+                        "parent lies inside the replacement subtree"
+                    )
+                # Self-replacement pairs survive untouched on both sides.
+                noop_pairs = {
+                    (e.parent, e.child)
+                    for e in raw_del.deletions()
+                    if e.child == subtree.root
+                }
+                del_delta = ViewDelta(
+                    e for e in raw_del.ops
+                    if (e.parent, e.child) not in noop_pairs
+                )
+                deleted_pairs = {
+                    (e.parent, e.child) for e in del_delta.deletions()
+                }
+                ins_delta = ViewDelta()
+                for p_type, p, c_type, c in subtree.edges:
+                    ins_delta.insert(p_type, c_type, p, c)
+                root_type = self.store.type_of(subtree.root)
+                for parent in parents:
+                    if (
+                        self.store.has_edge(parent, subtree.root)
+                        and (parent, subtree.root) not in deleted_pairs
+                    ):
+                        continue  # set semantics: the edge survives as-is
+                    ins_delta.insert(
+                        self.store.type_of(parent), root_type, parent,
+                        subtree.root,
+                    )
+            with _Timer(outcome, "translate_r"):
+                rows = expand_view_deletions(
+                    self.registry, self.store, self.db, del_delta
+                )
+                del_plan = translate_deletions(self.registry, self.db, rows)
+        except Exception:
+            subtree.rollback(self.store)
+            raise
+        ins_plan = self._translate_insertions_guarded(
+            subtree, ins_delta, outcome
+        )
+        outcome.delta_v = ViewDelta([*del_delta.ops, *ins_delta.ops])
+        outcome.delta_r = RelationalDelta(
+            [*del_plan.delta_r.ops, *ins_plan.delta_r.ops]
+        )
+        outcome.stats.update(
+            ep_edges=len(result.ep),
+            view_rows=len(del_plan.view_rows),
+            targets=len(result.targets),
+            attach_parents=len(parents),
+            sat_vars=ins_plan.num_vars,
+            sat_clauses=ins_plan.num_clauses,
+            subtree_nodes=subtree.node_count,
+            subtree_edges=subtree.edge_count,
+        )
+        plan._inserts.append((subtree, parents))
+        plan._delete_feed = sorted(set(result.targets))
+
     # -- helpers ---------------------------------------------------------------
+
+    def _translate_insertions_guarded(
+        self, subtree: SubtreeResult, ins_delta: ViewDelta,
+        outcome: UpdateOutcome,
+    ):
+        """Algorithm insert under the translate_r timer; on *any* failure
+        the freshly interned subtree nodes are rolled back so a rejected
+        plan leaves the store untouched."""
+        try:
+            with _Timer(outcome, "translate_r"):
+                return translate_insertions(
+                    self.registry,
+                    self.store,
+                    self.db,
+                    ins_delta,
+                    solver=self.sat_solver,
+                    rng=self.rng,
+                )
+        except Exception:
+            subtree.rollback(self.store)
+            raise
+
+    def _maintain(
+        self,
+        inserts: list[tuple[SubtreeResult, list[int]]],
+        delete_feed: EvalResult | list[int] | None,
+    ) -> None:
+        """One update's Δ(M,L) phase: insert repairs, then the delete pass.
+
+        The ordering matches :meth:`UpdateSession.flush` — insert
+        repairs are pure pair additions; the closing delete pass removes
+        stale pairs and garbage-collects, so composites (replace)
+        converge to the closure of the final store.
+        """
+        if self._session is not None:
+            for subtree, targets in inserts:
+                self._session.defer_insert(subtree, targets)
+            if delete_feed is not None:
+                targets = (
+                    delete_feed.targets
+                    if isinstance(delete_feed, EvalResult)
+                    else delete_feed
+                )
+                self._session.defer_delete(list(targets))
+            return
+        for subtree, targets in inserts:
+            self.last_maintenance = maintain_insert(
+                self.store, self.topo, self.reach, subtree, targets
+            )
+        if delete_feed is not None:
+            self.last_maintenance = maintain_delete(
+                self.store, self.topo, self.reach, delete_feed
+            )
+        self.maintenance_runs += 1
 
     def _evaluator(self) -> DagXPathEvaluator:
         """An evaluator for the current state.
@@ -365,10 +766,18 @@ class XMLViewUpdater:
         The reverse direction of the paper's pipeline (its reference [8]):
         the caller updates relations directly; the DAG store, ``M`` and
         ``L`` are maintained incrementally.  Returns a
-        :class:`~repro.atg.incremental.PropagationReport`.
+        :class:`~repro.atg.incremental.PropagationReport`.  (The typed
+        equivalent is ``apply_op(BaseUpdateOp.from_delta(delta_r))``.)
         """
         from repro.atg.incremental import propagate_base_update
 
+        if self._outstanding_plan is not None:
+            # Propagation would trip over the plan's pre-interned
+            # (edge-less) nodes and corrupt the store irrecoverably.
+            raise PlanError(
+                "cannot propagate a base update while a plan is "
+                "outstanding; commit or abort it first"
+            )
         if self._session is not None and self._session.pending:
             raise ReproError(
                 "cannot propagate a base update while a batch session has "
@@ -383,6 +792,7 @@ class XMLViewUpdater:
             self.reach,
             delta_r,
         )
+        self._version += 1
         self._post_verify()
         return report
 
@@ -480,6 +890,13 @@ class XMLViewUpdater:
         return problems
 
 
+def _path_str(path: str | XPath) -> str:
+    """Normalize a path argument to its string form (ops are wire values)."""
+    if isinstance(path, str):
+        return path
+    return str(path) or "."
+
+
 @dataclass
 class BatchReport:
     """What one deferred maintenance pass (session flush) did."""
@@ -500,8 +917,8 @@ class UpdateSession:
     Created by :meth:`XMLViewUpdater.batch`; use as a context manager::
 
         with updater.batch():
-            updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
-            updater.delete("course[cno='CS240']/project")
+            updater.apply_op(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
+            updater.apply_op(DeleteOp("course[cno='CS240']/project"))
 
     Per accepted update the session does the *cheap* ``L`` work eagerly
     (new-node placement and the paper's ``swap`` repair, with the
@@ -590,6 +1007,7 @@ class UpdateSession:
         self._pending_deletes.clear()
         report.maintenance_passes = 1
         updater.maintenance_runs += 1
+        updater._version += 1
         report.seconds = time.perf_counter() - start
         updater._post_verify()
         return report

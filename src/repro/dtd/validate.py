@@ -150,6 +150,33 @@ class StaticValidator:
             )
         return last_edges
 
+    def validate_replace(
+        self, path: XPath, subtree_type: str
+    ) -> set[tuple[str, str]]:
+        """Validate ``replace path with (subtree_type, t)``.
+
+        The reached children must be deletable *and* the new subtree
+        type must be insertable under every possible parent the path can
+        reach through — both sides of the composite, checked statically.
+        """
+        last_edges = self.validate_delete(path)
+        if subtree_type not in self.dtd.productions:
+            raise ValidationError(
+                f"replace with unknown element type {subtree_type!r}"
+            )
+        bad = sorted(
+            parent
+            for parent, _ in last_edges
+            if not self.dtd.is_star_child(parent, subtree_type)
+        )
+        if bad:
+            raise ValidationError(
+                f"replacing with a {subtree_type!r} child under type(s) "
+                f"{bad} violates the DTD: production is not "
+                f"'{subtree_type}*'"
+            )
+        return last_edges
+
 
 def validate_update(
     dtd: DTD, path: XPath, kind: str, subtree_type: str | None = None

@@ -65,5 +65,27 @@ class UpdateRejectedError(ReproError):
     """
 
 
+class OpDecodeError(ReproError):
+    """A wire-format update operation (dict / JSON) was malformed."""
+
+
+class PlanError(ReproError):
+    """The plan/commit protocol was violated.
+
+    Raised when a second plan is opened while one is outstanding, or when
+    ``commit()``/``abort()`` is called on a plan that is not in the
+    required state.
+    """
+
+
+class StalePlanError(PlanError):
+    """The view changed between ``plan()`` and ``commit()``.
+
+    A plan captures ΔV/ΔR against one store snapshot; any intervening
+    mutation (another update, a base-table propagation, a batch flush)
+    invalidates it.  Re-plan against the current state.
+    """
+
+
 class CycleError(ReproError):
     """The published view graph contains a cycle (cannot unfold to a tree)."""

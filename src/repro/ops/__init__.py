@@ -1,0 +1,33 @@
+"""Typed, serializable update operations (see :mod:`repro.ops.algebra`).
+
+Construct ops directly (``DeleteOp("course[cno=CS650]/project")``) or
+decode them from the wire (:func:`op_from_dict`, :func:`op_from_json`,
+:func:`ops_from_jsonl`); feed them to
+:meth:`repro.service.ViewService.apply` /
+:meth:`~repro.service.ViewService.plan` or to
+:meth:`repro.core.updater.XMLViewUpdater.apply_op`.
+"""
+
+from repro.ops.algebra import (
+    OP_TYPES,
+    BaseUpdateOp,
+    DeleteOp,
+    InsertOp,
+    ReplaceOp,
+    UpdateOperation,
+    op_from_dict,
+    op_from_json,
+    ops_from_jsonl,
+)
+
+__all__ = [
+    "OP_TYPES",
+    "BaseUpdateOp",
+    "DeleteOp",
+    "InsertOp",
+    "ReplaceOp",
+    "UpdateOperation",
+    "op_from_dict",
+    "op_from_json",
+    "ops_from_jsonl",
+]

@@ -52,7 +52,6 @@ from repro.relview.symbolic import (
     Template,
     make_atom,
 )
-from repro.sat.cnf import CNF
 from repro.sat.dpll import dpll_solve
 from repro.sat.encode import (
     FDVar,

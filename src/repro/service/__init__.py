@@ -1,0 +1,11 @@
+"""The service layer: ``open_view`` → :class:`ViewService` (plan/commit).
+
+See :mod:`repro.service.facade` for the protocol and
+:mod:`repro.service.config` for :class:`ViewConfig`.
+"""
+
+from repro.service.config import ViewConfig
+from repro.service.facade import ViewService, open_view
+from repro.service.rwlock import RWLock
+
+__all__ = ["RWLock", "ViewConfig", "ViewService", "open_view"]

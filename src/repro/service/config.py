@@ -1,0 +1,91 @@
+"""One immutable configuration value for a view service.
+
+:class:`ViewConfig` consolidates the knobs that were previously
+scattered over the :class:`~repro.core.updater.XMLViewUpdater`
+constructor (index backend, side-effect policy, SAT solver, strictness,
+per-update verification, RNG seed) into a single frozen, serializable
+dataclass — the shape a deployment config or a service registry wants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, fields
+
+from repro.core.updater import SideEffectPolicy
+from repro.errors import ReproError
+from repro.index import resolve_backend
+
+#: Default RNG seed (the paper's submission date, as in the updater).
+DEFAULT_SEED = 20070415
+
+
+@dataclass(frozen=True)
+class ViewConfig:
+    """How a :class:`~repro.service.facade.ViewService` behaves.
+
+    Attributes
+    ----------
+    index_backend:
+        Reachability-index engine for ``M``: ``'auto'`` (default),
+        ``'bitset'`` or ``'sets'`` (see :mod:`repro.index`).
+    side_effects:
+        ``'abort'`` (default) rejects updates with XML side effects;
+        ``'propagate'`` applies them at every occurrence (the paper's
+        revised semantics).
+    sat_solver:
+        ``'auto'`` | ``'walksat'`` | ``'dpll'`` for insertion translation.
+    strict:
+        When True (default) rejections raise; when False they come back
+        as unaccepted outcomes (the benchmark setting).
+    verify_each_update:
+        Re-verify against a republish after every update (tests only —
+        O(|V|) per update).
+    seed:
+        Seed for the SAT translation RNG; a fixed seed makes two
+        identically configured services produce identical ΔR.
+    """
+
+    index_backend: str = "auto"
+    side_effects: str = "abort"
+    sat_solver: str = "auto"
+    strict: bool = True
+    verify_each_update: bool = False
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self):
+        resolve_backend(self.index_backend)  # raises on unknown names
+        if self.side_effects not in ("abort", "propagate"):
+            raise ReproError(
+                f"side_effects must be 'abort' or 'propagate', "
+                f"got {self.side_effects!r}"
+            )
+        if self.sat_solver not in ("auto", "walksat", "dpll"):
+            raise ReproError(
+                f"sat_solver must be 'auto', 'walksat' or 'dpll', "
+                f"got {self.sat_solver!r}"
+            )
+
+    @property
+    def policy(self) -> SideEffectPolicy:
+        return (
+            SideEffectPolicy.ABORT
+            if self.side_effects == "abort"
+            else SideEffectPolicy.PROPAGATE
+        )
+
+    def make_rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    # -- wire format --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ViewConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ReproError(f"unknown ViewConfig field(s): {unknown}")
+        return cls(**payload)

@@ -1,0 +1,234 @@
+"""The plan/commit ``ViewService`` façade over one published view.
+
+``repro.open_view(atg, db, config=ViewConfig(...))`` is the public front
+door of the system: it publishes the view once and returns a service
+whose write path is the typed operation algebra (:mod:`repro.ops`) and
+whose read path (:meth:`ViewService.xpath`, :meth:`ViewService.snapshot`)
+is safe to call from other threads while updates — including their
+"background" Δ(M,L) maintenance — are in flight, via a write-preferring
+readers–writer lock.
+
+Two write protocols:
+
+- ``service.apply(op)`` — translate + apply in one call; a list of ops
+  routes through one batched :class:`~repro.core.updater.UpdateSession`
+  (one deferred Δ(M,L) repair for the whole batch);
+- ``plan = service.plan(op)`` — run the paper's foreground phases only,
+  inspect ``plan.targets`` / ``plan.side_effects`` / ``plan.delta_v`` /
+  ``plan.delta_r`` / ``plan.timings``, then ``plan.commit()`` (identical
+  ΔV/ΔR to ``apply``) or ``plan.abort()`` (state stays byte-identical).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable
+
+from repro.atg.model import ATG
+from repro.core.dag_eval import EvalResult
+from repro.core.updater import (
+    UpdateOutcome,
+    UpdatePlan,
+    XMLViewUpdater,
+)
+from repro.errors import PlanError, ReproError
+from repro.ops import BaseUpdateOp, UpdateOperation, op_from_dict
+from repro.relational.database import Database
+from repro.service.config import ViewConfig
+from repro.service.rwlock import RWLock
+from repro.xmltree.tree import XMLNode
+from repro.xpath.ast import XPath
+
+
+class ViewService:
+    """Thread-safe plan/commit façade over one :class:`XMLViewUpdater`.
+
+    Construct via :func:`open_view`.  All mutation goes through typed
+    operations; reads take the shared side of the service lock and are
+    safe during concurrent updates and background maintenance.
+    """
+
+    def __init__(
+        self,
+        atg: ATG,
+        db: Database,
+        config: ViewConfig | None = None,
+    ):
+        self.config = config or ViewConfig()
+        self._lock = RWLock()
+        self.updater = XMLViewUpdater(
+            atg,
+            db,
+            side_effect_policy=self.config.policy,
+            sat_solver=self.config.sat_solver,
+            strict=self.config.strict,
+            verify_each_update=self.config.verify_each_update,
+            rng=self.config.make_rng(),
+            index_backend=self.config.index_backend,
+        )
+
+    # -- write path ---------------------------------------------------------------
+
+    def apply(
+        self,
+        op: UpdateOperation | dict | Iterable[UpdateOperation | dict],
+    ) -> UpdateOutcome | list[UpdateOutcome]:
+        """Translate and apply one op, or a batch of ops.
+
+        Accepts op instances or their wire dicts.  A single op returns
+        its :class:`UpdateOutcome`; a list returns the outcome list and
+        routes through one batched update session, so the whole batch
+        pays a single deferred Δ(M,L) repair.  ``BaseUpdateOp`` cannot
+        ride in a batch (base propagation needs ``M``/``L`` repaired,
+        which the session defers) — apply it on its own.
+
+        Under ``strict`` config a rejected op raises out of the batch
+        after the session flushes; the already-committed outcomes (whose
+        ``delta_r`` feeds :meth:`undo`) ride on the exception as
+        ``exc.batch_outcomes``.
+        """
+        if isinstance(op, (UpdateOperation, dict)):
+            decoded = self._decode(op)
+            with self._lock.write():
+                return self.updater.apply_op(decoded)
+        ops = [self._decode(item) for item in op]
+        base = [o for o in ops if isinstance(o, BaseUpdateOp)]
+        if base:
+            raise PlanError(
+                "a batched apply cannot contain base updates (the batch "
+                "session defers the M/L repair base propagation needs); "
+                "apply them individually"
+            )
+        outcomes: list[UpdateOutcome] = []
+        with self._lock.write():
+            try:
+                with self.updater.batch():
+                    for decoded in ops:
+                        outcomes.append(self.updater.apply_op(decoded))
+            except ReproError as exc:
+                # Ops before the failure are committed (the session has
+                # flushed); hand their outcomes to the caller for
+                # inspection or undo.
+                exc.batch_outcomes = outcomes
+                raise
+        return outcomes
+
+    def plan(self, op: UpdateOperation | dict) -> UpdatePlan:
+        """Run the foreground phases; commit/abort later.
+
+        The returned plan's ``commit()``/``abort()`` take the service's
+        write lock, so a held plan can be completed from any thread.
+        """
+        decoded = self._decode(op)
+        with self._lock.write():
+            plan = self.updater.plan(decoded)
+        plan._write_lock = self._lock.write
+        return plan
+
+    def undo(self, outcome: UpdateOutcome):
+        """Invert an accepted update's ΔR and re-synchronize the view."""
+        with self._lock.write():
+            return self.updater.undo(outcome)
+
+    @contextmanager
+    def batch(self):
+        """Exclusive batched session: N applies, one Δ(M,L) repair."""
+        with self._lock.write():
+            with self.updater.batch() as session:
+                yield _BatchHandle(self.updater, session)
+
+    # -- read path ----------------------------------------------------------------
+
+    def xpath(self, path: str | XPath) -> EvalResult:
+        """Evaluate an XPath on the current view (no update)."""
+        with self._lock.read():
+            return self.updater.evaluate_xpath(path)
+
+    # Drop-in alias for code migrating from the updater surface.
+    evaluate_xpath = xpath
+
+    def snapshot(self) -> XMLNode:
+        """The current XML view, unfolded to an (uncompressed) tree."""
+        with self._lock.read():
+            return self.updater.xml_tree()
+
+    def check_consistency(self) -> list[str]:
+        with self._lock.read():
+            return self.updater.check_consistency()
+
+    def stats(self) -> dict:
+        """JSON-safe service statistics (store/M/L sizes, config)."""
+        with self._lock.read():
+            store = self.updater.store
+            return {
+                "nodes": store.num_nodes,
+                "edges": store.num_edges,
+                "reach_pairs": len(self.updater.reach),
+                "topo_len": len(self.updater.topo),
+                "maintenance_runs": self.updater.maintenance_runs,
+                "index_backend": self.updater.index_backend,
+                "config": self.config.to_dict(),
+            }
+
+    # -- delegation (read-mostly internals used by tests/benchmarks) ---------------
+
+    @property
+    def atg(self) -> ATG:
+        return self.updater.atg
+
+    @property
+    def db(self) -> Database:
+        return self.updater.db
+
+    @property
+    def store(self):
+        return self.updater.store
+
+    @property
+    def topo(self):
+        return self.updater.topo
+
+    @property
+    def reach(self):
+        return self.updater.reach
+
+    @property
+    def registry(self):
+        return self.updater.registry
+
+    @property
+    def index_backend(self) -> str:
+        return self.updater.index_backend
+
+    @property
+    def maintenance_runs(self) -> int:
+        return self.updater.maintenance_runs
+
+    def xml_tree(self) -> XMLNode:
+        return self.snapshot()
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _decode(op: UpdateOperation | dict) -> UpdateOperation:
+        if isinstance(op, UpdateOperation):
+            return op
+        return op_from_dict(op)
+
+
+class _BatchHandle:
+    """What ``with service.batch() as batch:`` yields."""
+
+    def __init__(self, updater: XMLViewUpdater, session):
+        self._updater = updater
+        self.session = session
+
+    def apply(self, op: UpdateOperation | dict) -> UpdateOutcome:
+        return self._updater.apply_op(ViewService._decode(op))
+
+
+def open_view(
+    atg: ATG, db: Database, config: ViewConfig | None = None
+) -> ViewService:
+    """Publish ``σ(I)`` and open the plan/commit service façade over it."""
+    return ViewService(atg, db, config=config)

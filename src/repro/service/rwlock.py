@@ -1,0 +1,96 @@
+"""A write-preferring readers–writer lock for the view service.
+
+Readers (``service.xpath()``, ``service.snapshot()``) share the view;
+writers (``apply``, ``plan``/``commit``, batch sessions) get exclusive
+access — including during the "background" Δ(M,L) maintenance phase, so
+a reader can never observe a store whose ``M``/``L`` repair is mid-step.
+Write preference keeps a steady stream of readers from starving
+updates.
+
+The write side is **reentrant for the owning thread**, and the owner
+may also take the read side freely: ``with service.batch(): ...`` holds
+the write lock for the whole block, and service calls made inside the
+block (``apply``, ``xpath``, a held plan's ``commit()``) nest instead
+of deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Many readers or one writer; writers are preferred.
+
+    Reentrant on the write side (per owning thread); the read side is
+    not reentrant, but the write owner may read.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_thread: threading.Thread | None = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    def held_by_current_writer(self) -> bool:
+        return self._writer_thread is threading.current_thread()
+
+    # -- raw protocol -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_thread is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.current_thread()
+        with self._cond:
+            if self._writer_thread is me:
+                self._writer_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                while self._writer_thread is not None or self._readers:
+                    self._cond.wait()
+                self._writer_thread = me
+                self._writer_depth = 1
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer_thread = None
+                self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def read(self):
+        if self.held_by_current_writer():
+            # The write owner already has exclusive access.
+            yield self
+            return
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

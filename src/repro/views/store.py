@@ -124,6 +124,19 @@ class ViewStore:
         self.children.pop(node, None)
         self.parents.pop(node, None)
 
+    def release_ids(self, ids: Iterable[int]) -> None:
+        """Return already-removed node ids to the allocator if possible.
+
+        Ids are handed back only when they are still the top of the id
+        space (nothing interned since) — then the counter rewinds and a
+        later intern reuses them, so a rolled-back publish leaves the
+        store byte-identical.  Otherwise this is a no-op: ids are never
+        reused out of order.
+        """
+        ids = [n for n in ids if not self.has_node(n)]
+        if ids and self._next_id == max(ids) + 1:
+            self._next_id = min(ids)
+
     def type_of(self, node: int) -> str:
         return self.node_type[node]
 

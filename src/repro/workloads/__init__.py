@@ -7,14 +7,52 @@
 - :mod:`repro.workloads.bom` — a bill-of-materials domain exercising the
   public API on a second recursive schema;
 - :mod:`repro.workloads.queries` — the W1/W2/W3 update workload
-  generators of Section 5.
+  generators of Section 5, emitting the typed ops of :mod:`repro.ops`.
+
+:func:`named_workload` resolves a workload name from the command line
+(``python -m repro.apply --workload NAME``) to an ``(atg, db)`` pair.
 """
 
-from repro.workloads.registrar import build_registrar, registrar_atg
-from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+from __future__ import annotations
+
+from repro.errors import ReproError
 from repro.workloads.bom import build_bom
 from repro.workloads.chains import build_chain
-from repro.workloads.queries import UpdateOp, make_workload
+from repro.workloads.queries import make_workload
+from repro.workloads.registrar import build_registrar, registrar_atg
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+
+def named_workload(name: str):
+    """Resolve a workload name to ``(atg, db)``.
+
+    Formats: ``registrar``, ``bom``, ``synthetic[:n_c[:seed]]``,
+    ``chain[:depth]`` — e.g. ``synthetic:300`` or ``chain:80``.
+    """
+    head, _, rest = name.partition(":")
+    args = [a for a in rest.split(":") if a] if rest else []
+    try:
+        if head == "registrar" and not args:
+            return build_registrar()
+        if head == "bom" and not args:
+            return build_bom()
+        if head == "synthetic" and len(args) <= 2:
+            n_c = int(args[0]) if args else 300
+            seed = int(args[1]) if len(args) > 1 else 42
+            dataset = build_synthetic(SyntheticConfig(n_c=n_c, seed=seed))
+            return dataset.atg, dataset.db
+        if head == "chain" and len(args) <= 1:
+            depth = int(args[0]) if args else 50
+            return build_chain(depth=depth)
+    except ValueError:
+        raise ReproError(
+            f"bad numeric parameter in workload name {name!r}"
+        ) from None
+    raise ReproError(
+        f"unknown workload {name!r}; expected registrar, bom, "
+        "synthetic[:n_c[:seed]] or chain[:depth]"
+    )
+
 
 __all__ = [
     "build_registrar",
@@ -23,6 +61,6 @@ __all__ = [
     "build_synthetic",
     "build_bom",
     "build_chain",
-    "UpdateOp",
     "make_workload",
+    "named_workload",
 ]

@@ -13,26 +13,20 @@ Deletion workloads use the paths directly; insertion workloads append
 ``/sub`` and insert a ``cnode`` subtree — by default an *existing* C key
 (a sharing insert: only an ``H`` tuple is new), with a configurable
 fraction of brand-new keys that exercise the SAT translation (and may be
-rejected, as 22% of the paper's runs were).
+rejected, as 22% of the paper's runs were).  Replacement workloads swap
+the selected ``cnode`` for another one in a single composite operation.
+
+Workloads are emitted as the typed operations of :mod:`repro.ops`
+(``InsertOp`` / ``DeleteOp`` / ``ReplaceOp``), so a driver feeds them
+straight into ``service.apply(op)`` — no per-kind dispatch.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 
+from repro.ops import DeleteOp, InsertOp, ReplaceOp, UpdateOperation
 from repro.workloads.synthetic import SyntheticDataset
-
-
-@dataclass(frozen=True)
-class UpdateOp:
-    """One workload operation."""
-
-    kind: str  # 'insert' | 'delete'
-    cls: str  # 'W1' | 'W2' | 'W3'
-    path: str
-    element: str | None = None
-    sem: tuple | None = None
 
 
 def _children(dataset: SyntheticDataset, key: int) -> list[int]:
@@ -93,8 +87,13 @@ def make_workload(
     count: int = 10,
     seed: int = 1,
     new_key_fraction: float = 0.3,
-) -> list[UpdateOp]:
-    """Generate ``count`` operations of class ``cls`` (insert or delete)."""
+) -> list[UpdateOperation]:
+    """Generate ``count`` typed operations of class ``cls``.
+
+    ``kind`` is ``'insert'``, ``'delete'`` or ``'replace'``; the result
+    is a list of :class:`~repro.ops.InsertOp` /
+    :class:`~repro.ops.DeleteOp` / :class:`~repro.ops.ReplaceOp`.
+    """
     # Deterministic per (seed, class): str hashes are randomized per
     # process, so derive the class salt from code points instead.
     cls_salt = sum(ord(ch) * (i + 1) for i, ch in enumerate(cls))
@@ -114,22 +113,22 @@ def make_workload(
     else:
         raise ValueError(f"unknown workload class {cls!r}")
 
-    ops: list[UpdateOp] = []
     if kind == "delete":
-        for path in paths[:count]:
-            ops.append(UpdateOp("delete", cls, path))
-        return ops
-    if kind != "insert":
+        return [DeleteOp(path) for path in paths[:count]]
+    if kind not in ("insert", "replace"):
         raise ValueError(f"unknown workload kind {kind!r}")
 
+    ops: list[UpdateOperation] = []
     next_new_key = dataset.config.n_c + 1000
     for index, path in enumerate(paths[:count]):
-        target = f"{path}/sub"
         if rng.random() < new_key_fraction:
             key = next_new_key + index
             sem = (key, f"new{index}")
         else:
             key = rng.choice(sorted(dataset.passing))
             sem = (key, _payload_of(dataset, key))
-        ops.append(UpdateOp("insert", cls, target, element="cnode", sem=sem))
+        if kind == "insert":
+            ops.append(InsertOp(f"{path}/sub", element="cnode", sem=sem))
+        else:
+            ops.append(ReplaceOp(path, element="cnode", sem=sem))
     return ops

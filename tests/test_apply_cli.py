@@ -1,0 +1,103 @@
+"""End-to-end tests for the ``python -m repro.apply`` CLI.
+
+Exercises op deserialization from JSON-lines all the way through the
+service: apply mode, dry-run (plan-only) mode, JSON output mode, the
+named-workload resolver, and the failure exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.apply import main, run
+
+OPS = [
+    '{"op": "delete", "path": "course[cno=CS650]/prereq/course[cno=CS320]"}',
+    '{"op": "insert", "path": "course[cno=CS650]/prereq", '
+    '"element": "course", "sem": ["CS500", "Operating Systems"]}',
+    '{"op": "base_update", "ops": '
+    '[["insert", "course", ["CS800", "Quantum", "CS"]]]}',
+]
+
+
+@pytest.fixture
+def ops_file(tmp_path):
+    path = tmp_path / "ops.jsonl"
+    path.write_text("# demo ops\n" + "\n".join(OPS) + "\n")
+    return path
+
+
+class TestRun:
+    def test_apply_summary(self, capsys):
+        code = run(iter(OPS), workload="registrar")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 op(s) applied against 'registrar'" in out
+        assert "3 accepted, 0 rejected" in out
+        assert "consistency OK" in out
+
+    def test_rejections_reported_not_fatal(self, capsys):
+        lines = ['{"op": "delete", "path": "course[cno=NOPE]"}']
+        code = run(iter(lines), workload="registrar")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REJECTED" in out and "selects no node" in out
+
+    def test_plan_only_leaves_view_untouched(self, capsys):
+        code = run(iter(OPS), workload="registrar", plan_only=True)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "planned (dry run)" in out
+        # The registrar view starts with 30 nodes; a dry run keeps them.
+        assert "view now 30 nodes" in out
+
+    def test_json_output_is_outcome_dicts(self, capsys):
+        code = run(iter(OPS), workload="registrar", as_json=True)
+        lines = capsys.readouterr().out.strip().split("\n")
+        assert code == 0
+        payloads = [json.loads(line) for line in lines]
+        assert [p["kind"] for p in payloads] == [
+            "delete", "insert", "base_update",
+        ]
+        assert all(p["accepted"] for p in payloads)
+        # include_deltas mode embeds the full op lists.
+        assert payloads[0]["delta_r"]["ops"] == [
+            ["delete", "prereq", ["CS650", "CS320"]]
+        ]
+
+    def test_synthetic_workload_with_propagate(self, capsys):
+        lines = ['{"op": "delete", "path": "//cnode[key=7]"}']
+        code = run(iter(lines), workload="synthetic:60", policy="propagate")
+        assert code == 0
+        assert "1 accepted" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_file_input(self, ops_file, capsys):
+        assert main([str(ops_file), "--workload", "registrar"]) == 0
+        assert "3 accepted" in capsys.readouterr().out
+
+    def test_plan_only_flag(self, ops_file, capsys):
+        code = main([str(ops_file), "--plan-only"])
+        assert code == 0
+        assert "dry run" in capsys.readouterr().out
+
+    def test_bad_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "delete"\n')
+        assert main([str(bad)]) == 2
+        assert "bad input" in capsys.readouterr().err
+
+    def test_unknown_op_kind_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "upsert", "path": "x"}\n')
+        assert main([str(bad)]) == 2
+        assert "unknown operation kind" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, ops_file, capsys):
+        assert main([str(ops_file), "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["/no/such/file.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err

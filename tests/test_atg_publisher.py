@@ -11,10 +11,8 @@ from repro.atg.publisher import (
 )
 from repro.dtd.parser import parse_dtd
 from repro.errors import ATGError, CycleError
-from repro.relational.conditions import And, Col, Eq, Param
-from repro.relational.database import Database
+from repro.relational.conditions import Col
 from repro.relational.query import SPJQuery
-from repro.relational.schema import AttrType, RelationSchema
 from repro.workloads.registrar import build_registrar
 from repro.xmltree.tree import tree_equal, tree_size
 

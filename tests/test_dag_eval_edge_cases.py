@@ -10,6 +10,7 @@ from repro.core.updater import SideEffectPolicy, XMLViewUpdater
 from repro.workloads.registrar import build_registrar
 from repro.xpath.parser import parse_xpath
 from repro.xpath.tree_eval import evaluate_on_tree
+from repro.ops import DeleteOp, InsertOp
 
 
 @pytest.fixture
@@ -102,11 +103,11 @@ class TestMultiTargetInsert:
             atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
         )
         # CS650 and CS320 both get CS500 as a prerequisite.
-        out = updater.insert(
+        out = updater.apply_op(InsertOp(
             "course[cno=CS650 or cno=CS320]/prereq",
             "course",
             ("CS500", "Operating Systems"),
-        )
+        ))
         assert out.accepted
         rows = sorted(op.row for op in out.delta_r)
         assert rows == [("CS320", "CS500"), ("CS650", "CS500")]
@@ -117,9 +118,9 @@ class TestMultiTargetInsert:
         updater = XMLViewUpdater(
             atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
         )
-        out = updater.insert(
+        out = updater.apply_op(InsertOp(
             "course[cno=CS650 or cno=CS500]/prereq", "course", ("CS909", "X")
-        )
+        ))
         assert out.accepted
         relations = sorted(op.relation for op in out.delta_r)
         assert relations == ["course", "prereq", "prereq"]
@@ -130,7 +131,7 @@ class TestVerifyEachUpdate:
     def test_verification_passes_on_correct_updates(self):
         atg, db = build_registrar()
         updater = XMLViewUpdater(atg, db, verify_each_update=True)
-        out = updater.delete("course[cno=CS650]/prereq/course[cno=CS320]")
+        out = updater.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
         assert out.accepted
 
     def test_verification_catches_corruption(self):
@@ -141,4 +142,4 @@ class TestVerifyEachUpdate:
         # Corrupt the base data behind the updater's back.
         db.insert("course", ("CS999", "Phantom", "CS"))
         with pytest.raises(ReproError, match="verification failed"):
-            updater.delete("course[cno=CS650]/prereq/course[cno=CS320]")
+            updater.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))

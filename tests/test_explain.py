@@ -2,14 +2,14 @@
 
 from repro.core.explain import explain_outcome, explain_state, explain_views
 from repro.core.updater import SideEffectPolicy, XMLViewUpdater
-from repro.workloads.registrar import build_registrar
+from repro.ops import DeleteOp, InsertOp
 
 
 class TestExplainOutcome:
     def test_accepted_delete(self, registrar_updater):
-        out = registrar_updater.delete(
+        out = registrar_updater.apply_op(DeleteOp(
             "course[cno=CS650]/prereq/course[cno=CS320]"
-        )
+        ))
         text = explain_outcome(out, registrar_updater.store)
         assert "DELETE — ACCEPTED" in text
         assert "ΔR: 1 base operation(s)" in text
@@ -20,7 +20,7 @@ class TestExplainOutcome:
     def test_rejected_update(self, registrar):
         atg, db = registrar
         updater = XMLViewUpdater(atg, db, strict=False)
-        out = updater.delete("course[cno=NOPE]")
+        out = updater.apply_op(DeleteOp("course[cno=NOPE]"))
         text = explain_outcome(out, updater.store)
         assert "REJECTED" in text
         assert "reason:" in text
@@ -30,25 +30,25 @@ class TestExplainOutcome:
         updater = XMLViewUpdater(
             atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
         )
-        out = updater.insert(
+        out = updater.apply_op(InsertOp(
             "course[cno=CS650]//course[cno=CS320]/prereq",
             "course",
             ("CS500", "Operating Systems"),
-        )
+        ))
         text = explain_outcome(out, updater.store)
         assert "side effects via" in text
 
     def test_sat_stats_rendered(self, registrar_updater):
-        out = registrar_updater.insert(
+        out = registrar_updater.apply_op(InsertOp(
             "//course[cno=CS240]/prereq", "course", ("CS101", "Intro")
-        )
+        ))
         text = explain_outcome(out, registrar_updater.store)
         assert "sat_vars=" in text
 
     def test_node_rendering_without_store(self, registrar_updater):
-        out = registrar_updater.delete(
+        out = registrar_updater.apply_op(DeleteOp(
             "course[cno=CS650]/prereq/course[cno=CS320]"
-        )
+        ))
         text = explain_outcome(out)  # no store: raw ids
         assert "#" in text
 

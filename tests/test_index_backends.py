@@ -28,6 +28,7 @@ from repro.relview.insert import reset_fresh_counter
 from repro.workloads.queries import make_workload
 from repro.workloads.registrar import build_registrar
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+from repro.ops import DeleteOp, InsertOp
 
 ALL_BACKENDS = sorted(BACKENDS)
 
@@ -277,9 +278,9 @@ def _run_registrar_workload(backend):
     outcomes = []
     for op in script:
         if op[0] == "delete":
-            outcomes.append(updater.delete(op[1]))
+            outcomes.append(updater.apply_op(DeleteOp(op[1])))
         else:
-            outcomes.append(updater.insert(op[1], op[2], op[3]))
+            outcomes.append(updater.apply_op(InsertOp(op[1], op[2], op[3])))
     return updater, outcomes
 
 
@@ -313,9 +314,9 @@ def test_synthetic_backends_byte_identical():
         outcomes = []
         for cls in ("W1", "W2", "W3"):
             for op in make_workload(dataset, "delete", cls, count=3):
-                outcomes.append(updater.delete(op.path))
+                outcomes.append(updater.apply_op(op))
             for op in make_workload(dataset, "insert", cls, count=3):
-                outcomes.append(updater.insert(op.path, op.element, op.sem))
+                outcomes.append(updater.apply_op(op))
         runs[backend] = (updater, outcomes)
 
     (u_a, o_a), (u_b, o_b) = (runs[n] for n in ALL_BACKENDS)

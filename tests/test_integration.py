@@ -3,15 +3,13 @@ cross-module consistency, and the baselines."""
 
 import random
 
-import pytest
-
-from repro.atg.publisher import publish_store
 from repro.baselines.naive_reach import squaring_reachability
 from repro.baselines.recompute import recompute_structures
 from repro.baselines.tree_updater import TreeUpdater
-from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.core.updater import XMLViewUpdater
 from repro.workloads.queries import make_workload
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+from repro.ops import DeleteOp, InsertOp
 
 
 class TestMixedSequences:
@@ -31,9 +29,9 @@ class TestMixedSequences:
                 parent_key = updater.store.sem_of(sub)[0]
                 child = rng.choice(updater.store.children_of(sub))
                 child_key = updater.store.sem_of(child)[0]
-                out = updater.delete(
+                out = updater.apply_op(DeleteOp(
                     f"//cnode[key={parent_key}]/sub/cnode[key={child_key}]"
-                )
+                ))
             else:
                 all_subs = [
                     n
@@ -45,9 +43,9 @@ class TestMixedSequences:
                 while row is None:
                     key = rng.randrange(1, dataset.config.n_c + 1)
                     row = dataset.db.table("C").get((key,))
-                out = updater.insert(
+                out = updater.apply_op(InsertOp(
                     f"//cnode[key={parent_key}]/sub", "cnode", (key, row[4])
-                )
+                ))
             accepted += out.accepted
         assert accepted > 10
         assert updater.check_consistency() == []
@@ -56,16 +54,16 @@ class TestMixedSequences:
         updater, dataset = synthetic_updater
         for cls in ("W1", "W2", "W3"):
             for op in make_workload(dataset, "delete", cls, count=2):
-                updater.delete(op.path)
+                updater.apply_op(op)
             for op in make_workload(dataset, "insert", cls, count=2):
-                updater.insert(op.path, op.element, op.sem)
+                updater.apply_op(op)
         assert updater.check_consistency() == []
 
     def test_incremental_structures_survive_sequence(self, synthetic_updater):
         updater, dataset = synthetic_updater
         ops = make_workload(dataset, "delete", "W2", count=3)
         for op in ops:
-            updater.delete(op.path)
+            updater.apply_op(op)
         fresh = recompute_structures(updater.store)
         assert updater.reach.equals(fresh.reach)
 

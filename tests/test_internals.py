@@ -1,10 +1,6 @@
 """Focused tests for smaller internals: the XPath compiler, predicate
 rendering/binding, the bench CSV writer, and report truncation."""
 
-import pathlib
-
-import pytest
-
 from repro.bench.__main__ import _write_csv
 from repro.core.dag_eval import _compile
 from repro.relational.conditions import (
@@ -19,6 +15,7 @@ from repro.relational.conditions import (
     TRUE,
 )
 from repro.xpath.parser import parse_xpath
+from repro.ops import DeleteOp, InsertOp
 
 
 class TestXPathCompiler:
@@ -113,10 +110,10 @@ class TestExplainTruncation:
 
         u = registrar_updater_propagate
         # Insert a new course: ΔV has internal + connection edges.
-        out = u.insert(".", "course", ("CS950", "Big"))
+        out = u.apply_op(InsertOp(".", "course", ("CS950", "Big")))
         text = explain_outcome(out, u.store)
         assert "ΔV:" in text
         # A delete touching many edges:
-        out2 = u.delete("//course")
+        out2 = u.apply_op(DeleteOp("//course"))
         text2 = explain_outcome(out2, u.store)
         assert "ACCEPTED" in text2 or "REJECTED" in text2

@@ -1,11 +1,9 @@
 """Tests for make_key_preserving and the alternation content model."""
 
-import pytest
-
 from repro.atg.model import ATG, ProjectionRule, QueryRule
-from repro.atg.publisher import publish_store, publish_tree
+from repro.atg.publisher import publish_store
 from repro.dtd.parser import parse_dtd
-from repro.relational.conditions import Col, Const, Eq
+from repro.relational.conditions import Col, Eq
 from repro.relational.database import Database
 from repro.relational.query import SPJQuery
 from repro.relational.schema import AttrType, RelationSchema

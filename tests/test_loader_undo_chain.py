@@ -10,6 +10,7 @@ from repro.views.loader import store_from_database
 from repro.workloads.chains import build_chain
 from repro.workloads.registrar import build_registrar
 from repro.xmltree.tree import tree_equal
+from repro.ops import DeleteOp, InsertOp
 
 
 class TestStoreRoundtrip:
@@ -70,7 +71,7 @@ class TestStoreRoundtrip:
         updater = XMLViewUpdater(atg, db)
         updater.store = reloaded_store
         updater.rebuild_structures_only()
-        out = updater.delete("course[cno=CS650]/prereq/course[cno=CS320]")
+        out = updater.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
         assert out.accepted
         assert updater.check_consistency() == []
 
@@ -79,7 +80,7 @@ class TestUndo:
     def test_undo_delete(self, registrar_updater):
         u = registrar_updater
         before = u.xml_tree()
-        out = u.delete("course[cno=CS650]/prereq/course[cno=CS320]")
+        out = u.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
         u.undo(out)
         assert tree_equal(u.xml_tree(), before)
         assert u.check_consistency() == []
@@ -87,9 +88,9 @@ class TestUndo:
     def test_undo_insert(self, registrar_updater):
         u = registrar_updater
         before = u.xml_tree()
-        out = u.insert(
+        out = u.apply_op(InsertOp(
             "course[cno=CS650]/prereq", "course", ("CS500", "Operating Systems")
-        )
+        ))
         u.undo(out)
         assert tree_equal(u.xml_tree(), before)
         assert u.check_consistency() == []
@@ -97,7 +98,7 @@ class TestUndo:
     def test_undo_resurrects_collected_subtree(self, registrar_updater):
         u = registrar_updater
         before = u.xml_tree()
-        out = u.delete("//student[ssn=S03]")  # GC removes the subtree
+        out = u.apply_op(DeleteOp("//student[ssn=S03]"))  # GC removes the subtree
         assert u.store.lookup("student", ("S03", "Edsger")) is None
         u.undo(out)
         assert u.store.lookup("student", ("S03", "Edsger")) is not None
@@ -107,7 +108,7 @@ class TestUndo:
     def test_undo_new_course_insert(self, registrar_updater):
         u = registrar_updater
         before = u.xml_tree()
-        out = u.insert("//course[cno=CS240]/prereq", "course", ("CS101", "Intro"))
+        out = u.apply_op(InsertOp("//course[cno=CS240]/prereq", "course", ("CS101", "Intro")))
         u.undo(out)
         assert u.db.table("course").get(("CS101",)) is None
         assert tree_equal(u.xml_tree(), before)
@@ -153,7 +154,7 @@ class TestDeepChains:
         updater = XMLViewUpdater(
             atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
         )
-        out = updater.delete("//course[cno=K0198]//student[ssn=T000]")
+        out = updater.apply_op(DeleteOp("//course[cno=K0198]//student[ssn=T000]"))
         assert out.accepted
         assert updater.check_consistency() == []
 

@@ -1,0 +1,147 @@
+"""Wire-format tests for the typed update-operation algebra.
+
+The contract: every op round-trips exactly through both the dict and
+the JSON encodings (``from_dict(op.to_dict()) == op``), malformed wire
+payloads raise :class:`OpDecodeError` (never a bare ``KeyError`` /
+``TypeError``), and the ops are proper values — frozen, hashable,
+equality-comparable.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OpDecodeError
+from repro.ops import (
+    OP_TYPES,
+    BaseUpdateOp,
+    DeleteOp,
+    InsertOp,
+    ReplaceOp,
+    op_from_dict,
+    op_from_json,
+    ops_from_jsonl,
+)
+
+# JSON-native scalars (finite floats only: NaN breaks equality, inf is
+# not strict JSON).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+sems = st.lists(scalars, max_size=5).map(tuple)
+paths = st.text(min_size=1, max_size=60)
+elements = st.text(min_size=1, max_size=20)
+
+insert_ops = st.builds(InsertOp, path=paths, element=elements, sem=sems)
+delete_ops = st.builds(DeleteOp, path=paths)
+replace_ops = st.builds(ReplaceOp, path=paths, element=elements, sem=sems)
+base_ops = st.builds(
+    BaseUpdateOp,
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.text(min_size=1, max_size=15),
+            st.lists(scalars, max_size=4).map(tuple),
+        ),
+        max_size=4,
+    ).map(tuple),
+)
+any_op = st.one_of(insert_ops, delete_ops, replace_ops, base_ops)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(any_op)
+    def test_dict_round_trip(self, op):
+        assert op_from_dict(op.to_dict()) == op
+
+    @settings(max_examples=200)
+    @given(any_op)
+    def test_json_round_trip(self, op):
+        text = op.to_json()
+        json.loads(text)  # strict JSON
+        assert op_from_json(text) == op
+
+    @given(any_op)
+    def test_wire_dict_is_json_native(self, op):
+        assert json.loads(json.dumps(op.to_dict())) == json.loads(op.to_json())
+
+    @given(any_op)
+    def test_ops_are_values(self, op):
+        assert op == op_from_dict(op.to_dict())
+        assert hash(op) == hash(op_from_dict(op.to_dict()))
+        assert op.kind in OP_TYPES
+
+    def test_sem_restored_as_tuple(self):
+        op = op_from_dict(
+            {"op": "insert", "path": ".", "element": "course",
+             "sem": ["CS700", "Theory"]}
+        )
+        assert op.sem == ("CS700", "Theory")
+        assert isinstance(op.sem, tuple)
+
+    def test_base_rows_restored_as_tuples(self):
+        op = op_from_dict(
+            {"op": "base_update",
+             "ops": [["insert", "course", ["CS800", "Quantum", "CS"]]]}
+        )
+        assert op.ops == (("insert", "course", ("CS800", "Quantum", "CS")),)
+
+
+class TestDecodeErrors:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},                                     # no discriminator
+            {"op": ["delete"], "path": "x"},        # unhashable kind
+            {"op": "upsert", "path": "x"},          # unknown kind
+            {"op": "insert", "element": "course"},  # missing path
+            {"op": "insert", "path": 1, "element": "c"},  # wrong type
+            {"op": "insert", "path": ".", "element": "c", "sem": "notalist"},
+            {"op": "insert", "path": ".", "element": "c", "sem": [["no"]]},
+            {"op": "delete"},                       # missing path
+            {"op": "base_update"},                  # missing ops
+            {"op": "base_update", "ops": [["upsert", "t", []]]},
+            {"op": "base_update", "ops": [["insert", 3, []]]},
+            {"op": "base_update", "ops": [["insert", "t"]]},  # arity
+            "not a dict",
+        ],
+    )
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(OpDecodeError):
+            op_from_dict(payload)
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(OpDecodeError, match="not valid JSON"):
+            op_from_json("{nope")
+
+    def test_jsonl_reports_line_numbers(self):
+        lines = ['{"op": "delete", "path": "x"}', "", "# comment", "{bad"]
+        with pytest.raises(OpDecodeError, match="line 4"):
+            list(ops_from_jsonl(lines))
+
+    def test_jsonl_skips_blank_and_comment_lines(self):
+        lines = ["", "# heading", '{"op": "delete", "path": "x"}', "   "]
+        assert list(ops_from_jsonl(lines)) == [DeleteOp("x")]
+
+
+class TestDeltaBridge:
+    def test_from_delta_to_delta_round_trip(self):
+        from repro.relational.database import RelationalDelta
+
+        delta = RelationalDelta()
+        delta.insert("course", ("CS800", "Quantum", "CS"))
+        delta.delete("prereq", ("CS650", "CS320"))
+        op = BaseUpdateOp.from_delta(delta)
+        back = op.to_delta()
+        assert [(o.kind, o.relation, o.row) for o in back] == [
+            ("insert", "course", ("CS800", "Quantum", "CS")),
+            ("delete", "prereq", ("CS650", "CS320")),
+        ]
+        assert BaseUpdateOp.from_delta(back) == op

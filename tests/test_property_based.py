@@ -37,6 +37,7 @@ from repro.workloads.registrar import build_registrar
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
 from repro.xpath.parser import parse_xpath
 from repro.xpath.tree_eval import evaluate_on_tree
+from repro.ops import DeleteOp, InsertOp
 
 # ---------------------------------------------------------------------------
 # Random DAG stores (via the registrar schema: prereq edges over courses)
@@ -258,7 +259,7 @@ def test_random_update_sequences_stay_consistent(ops):
             row = dataset.db.table("C").get((b,))
             if row is None:
                 continue
-            updater.insert(f"//cnode[key={a}]/sub", "cnode", (b, row[4]))
+            updater.apply_op(InsertOp(f"//cnode[key={a}]/sub", "cnode", (b, row[4])))
         else:
-            updater.delete(f"//cnode[key={a}]/sub/cnode[key={b}]")
+            updater.apply_op(DeleteOp(f"//cnode[key={a}]/sub/cnode[key={b}]"))
     assert updater.check_consistency() == []

@@ -18,6 +18,7 @@ from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.views.registry import build_registry
 from repro.workloads.registrar import build_registrar
 from repro.xpath.parser import parse_xpath
+from repro.ops import DeleteOp, InsertOp
 
 
 @st.composite
@@ -137,18 +138,18 @@ def test_maintenance_equals_recompute_after_random_updates(spec, ops):
             row = db.table("course").get((cb,))
             if row is None:
                 continue
-            updater.insert(
+            updater.apply_op(InsertOp(
                 f"//course[cno={ca}]/prereq", "course", (cb, row[1])
-            )
+            ))
         elif kind == "delete_edge":
-            updater.delete(f"//course[cno={ca}]/prereq/course[cno={cb}]")
+            updater.apply_op(DeleteOp(f"//course[cno={ca}]/prereq/course[cno={cb}]"))
         else:
             new_counter[0] += 1
-            updater.insert(
+            updater.apply_op(InsertOp(
                 f"//course[cno={ca}]/prereq",
                 "course",
                 (f"N{new_counter[0]:02d}", "new"),
-            )
+            ))
     fresh = recompute_structures(updater.store)
     assert updater.reach.equals(fresh.reach)
     for node in updater.store.nodes():

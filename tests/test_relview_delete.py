@@ -8,10 +8,8 @@ from repro.core.reachability import compute_reach
 from repro.core.topo import TopoOrder
 from repro.core.translate import xdelete
 from repro.errors import UpdateRejectedError
-from repro.relational.conditions import And, Col, Const, Eq
-from repro.relational.database import Database
+from repro.relational.conditions import Col, Eq
 from repro.relational.query import SPJQuery
-from repro.relational.schema import AttrType, RelationSchema
 from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.relview.keypres import is_key_preserving, key_preservation_report
 from repro.relview.minimal import minimal_deletion_exact, minimal_deletion_greedy

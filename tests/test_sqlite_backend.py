@@ -1,7 +1,5 @@
 """Tests for SQL generation and the SQLite bridge."""
 
-import pytest
-
 from repro.relational.conditions import And, Col, Const, Eq, Param
 from repro.relational.query import SPJQuery
 from repro.relational.schema import AttrType, RelationSchema

@@ -13,6 +13,7 @@ from repro.index import BACKENDS
 from repro.workloads.queries import make_workload
 from repro.workloads.registrar import build_registrar
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+from repro.ops import DeleteOp, InsertOp
 
 ALL_BACKENDS = sorted(BACKENDS)
 
@@ -45,14 +46,14 @@ def test_batched_deletions_one_pass_identical_state(backend):
     ops = _delete_ops(dataset_a)
     assert len(ops) >= 3
 
-    seq_outcomes = [sequential.delete(op.path) for op in ops]
+    seq_outcomes = [sequential.apply_op(op) for op in ops]
     assert sequential.maintenance_runs == sum(
         1 for o in seq_outcomes if o.accepted
     )
 
     before = batched.maintenance_runs
     with batched.batch() as session:
-        batch_outcomes = [batched.delete(op.path) for op in ops]
+        batch_outcomes = [batched.apply_op(op) for op in ops]
     assert batched.maintenance_runs - before == 1
     assert session.report is not None
     assert session.report.maintenance_passes == 1
@@ -77,12 +78,12 @@ def test_batched_inserts_one_pass(backend):
     updater = _registrar_updater(index_backend=backend, strict=True)
     before = updater.maintenance_runs
     with updater.batch():
-        updater.insert(
+        updater.apply_op(InsertOp(
             "course[cno='CS650']/prereq", "course", ("CS901", "Batched I")
-        )
-        updater.insert(
+        ))
+        updater.apply_op(InsertOp(
             "course[cno='CS650']/prereq", "course", ("CS902", "Batched II")
-        )
+        ))
     assert updater.maintenance_runs - before == 1
     assert updater.check_consistency() == []
     result = updater.evaluate_xpath("course[cno='CS650']/prereq/course")
@@ -95,11 +96,11 @@ def test_mixed_batch_consistent(backend):
     updater = _registrar_updater(index_backend=backend, strict=False)
     before = updater.maintenance_runs
     with updater.batch():
-        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
-        updater.insert(
+        updater.apply_op(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
+        updater.apply_op(InsertOp(
             "course[cno='CS650']/prereq", "course", ("CS903", "Mixed")
-        )
-        updater.delete("//course[cno='CS910']")  # selects nothing: rejected
+        ))
+        updater.apply_op(DeleteOp("//course[cno='CS910']"))  # selects nothing: rejected
     assert updater.maintenance_runs - before == 1
     assert updater.check_consistency() == []
     assert updater.reach.check_invariants() == []
@@ -108,7 +109,7 @@ def test_mixed_batch_consistent(backend):
 def test_mid_batch_evaluation_sees_applied_deltas():
     updater = _registrar_updater(strict=True)
     with updater.batch():
-        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+        updater.apply_op(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
         # The foreground ΔV is applied: a descendant query through the
         # deleted edge must not resurrect it, even though M is stale.
         result = updater.evaluate_xpath(
@@ -121,7 +122,7 @@ def test_batch_with_only_rejections_runs_no_pass():
     updater = _registrar_updater(strict=False)
     before = updater.maintenance_runs
     with updater.batch() as session:
-        outcome = updater.delete("//course[cno='NOPE']")
+        outcome = updater.apply_op(DeleteOp("//course[cno='NOPE']"))
     assert not outcome.accepted
     assert updater.maintenance_runs == before
     assert session.report.maintenance_passes == 0
@@ -132,8 +133,8 @@ def test_batch_flushes_even_when_block_raises():
     before = updater.maintenance_runs
     with pytest.raises(UpdateRejectedError):
         with updater.batch():
-            updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
-            updater.delete("//course[cno='NOPE']")  # raises (strict)
+            updater.apply_op(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
+            updater.apply_op(DeleteOp("//course[cno='NOPE']"))  # raises (strict)
     # The accepted delete's repair still ran: state is consistent.
     assert updater.maintenance_runs - before == 1
     assert updater.check_consistency() == []
@@ -152,9 +153,9 @@ def test_nested_batch_rejected():
 def test_base_update_blocked_while_pending():
     updater = _registrar_updater(strict=True)
     with updater.batch():
-        outcome = updater.delete(
+        outcome = updater.apply_op(DeleteOp(
             "course[cno='CS650']/prereq/course[cno='CS320']"
-        )
+        ))
         with pytest.raises(ReproError, match="pending maintenance"):
             updater.undo(outcome)
     assert updater.check_consistency() == []
@@ -166,13 +167,13 @@ def test_base_update_blocked_while_pending():
 def test_explicit_flush_mid_batch():
     updater = _registrar_updater(strict=True)
     with updater.batch() as session:
-        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
+        updater.apply_op(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
         report = session.flush()
         assert report.maintenance_passes == 1
         # Maintenance is clean now; further ops queue afresh.
-        updater.insert(
+        updater.apply_op(InsertOp(
             "course[cno='CS650']/prereq", "course", ("CS904", "Post-flush")
-        )
+        ))
     assert updater.check_consistency() == []
 
 
@@ -183,10 +184,10 @@ def test_batch_delete_then_reinsert_shares_subtree():
     target = updater.store.lookup("course", ("CS320", "Databases"))
     assert target is not None
     with updater.batch():
-        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
-        updater.insert(
+        updater.apply_op(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
+        updater.apply_op(InsertOp(
             "course[cno='CS650']/prereq", "course", ("CS320", "Databases")
-        )
+        ))
     assert updater.check_consistency() == []
     # Same node id: the subtree was shared, not republished.
     assert updater.store.lookup("course", ("CS320", "Databases")) == target
@@ -195,8 +196,8 @@ def test_batch_delete_then_reinsert_shares_subtree():
 def test_verify_each_update_defers_to_flush():
     updater = _registrar_updater(strict=True, verify_each_update=True)
     with updater.batch():
-        updater.delete("course[cno='CS650']/prereq/course[cno='CS320']")
-        updater.insert(
+        updater.apply_op(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
+        updater.apply_op(InsertOp(
             "course[cno='CS650']/prereq", "course", ("CS905", "Verified")
-        )
+        ))
     assert updater.check_consistency() == []

@@ -9,10 +9,8 @@ from repro.errors import (
     UpdateRejectedError,
     ValidationError,
 )
-from repro.workloads.bom import build_bom
 from repro.xmltree.tree import tree_equal
-from repro.xpath.parser import parse_xpath
-from repro.xpath.tree_eval import evaluate_on_tree
+from repro.ops import DeleteOp, InsertOp
 
 
 def assert_view_equals_republish(updater):
@@ -24,7 +22,7 @@ def assert_view_equals_republish(updater):
 class TestDeletion:
     def test_delete_prereq_edge(self, registrar_updater):
         u = registrar_updater
-        out = u.delete("course[cno=CS650]/prereq/course[cno=CS320]")
+        out = u.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
         assert out.accepted
         assert [op.row for op in out.delta_r] == [("CS650", "CS320")]
         assert_view_equals_republish(u)
@@ -38,7 +36,7 @@ class TestDeletion:
     def test_delete_updates_xml_everywhere(self, registrar_updater_propagate):
         """Deleting CS240 under CS320 affects every CS320 occurrence."""
         u = registrar_updater_propagate
-        out = u.delete("//course[cno=CS320]/prereq/course[cno=CS240]")
+        out = u.apply_op(DeleteOp("//course[cno=CS320]/prereq/course[cno=CS240]"))
         assert out.accepted
         tree = u.xml_tree()
         for node in tree.iter():
@@ -48,7 +46,7 @@ class TestDeletion:
 
     def test_delete_student_from_one_course(self, registrar_updater):
         u = registrar_updater
-        out = u.delete("//course[cno=CS320]//student[ssn=S02]")
+        out = u.apply_op(DeleteOp("//course[cno=CS320]//student[ssn=S02]"))
         assert out.accepted
         # Base deletion removes the enrollment, not the student.
         assert [op.relation for op in out.delta_r] == ["enroll"]
@@ -57,29 +55,29 @@ class TestDeletion:
 
     def test_delete_side_effect_aborts(self, registrar_updater):
         with pytest.raises(SideEffectError):
-            registrar_updater.delete(
+            registrar_updater.apply_op(DeleteOp(
                 "course[cno=CS320]/prereq/course[cno=CS240]"
-            )
+            ))
 
     def test_delete_side_effect_propagates(self, registrar_updater_propagate):
         u = registrar_updater_propagate
-        out = u.delete("course[cno=CS320]/prereq/course[cno=CS240]")
+        out = u.apply_op(DeleteOp("course[cno=CS320]/prereq/course[cno=CS240]"))
         assert out.accepted
         assert out.side_effects
         assert_view_equals_republish(u)
 
     def test_delete_nonexistent_rejected(self, registrar_updater):
         with pytest.raises(UpdateRejectedError):
-            registrar_updater.delete("course[cno=NOPE]")
+            registrar_updater.apply_op(DeleteOp("course[cno=NOPE]"))
 
     def test_delete_invalid_target_rejected(self, registrar_updater):
         with pytest.raises(ValidationError):
-            registrar_updater.delete("course/cno")
+            registrar_updater.apply_op(DeleteOp("course/cno"))
 
     def test_delete_timings_recorded(self, registrar_updater):
-        out = registrar_updater.delete(
+        out = registrar_updater.apply_op(DeleteOp(
             "course[cno=CS650]/prereq/course[cno=CS320]"
-        )
+        ))
         for phase in ("validate", "xpath", "translate_v", "translate_r",
                       "apply", "maintain"):
             assert phase in out.timings
@@ -90,17 +88,17 @@ class TestDeletion:
 class TestInsertion:
     def test_insert_existing_course(self, registrar_updater):
         u = registrar_updater
-        out = u.insert(
+        out = u.apply_op(InsertOp(
             "course[cno=CS650]/prereq", "course",
             ("CS500", "Operating Systems"),
-        )
+        ))
         assert out.accepted
         assert [op.row for op in out.delta_r] == [("CS650", "CS500")]
         assert_view_equals_republish(u)
 
     def test_insert_new_course_avoids_root_side_effect(self, registrar_updater):
         u = registrar_updater
-        out = u.insert("//course[cno=CS240]/prereq", "course", ("CS101", "Intro"))
+        out = u.apply_op(InsertOp("//course[cno=CS240]/prereq", "course", ("CS101", "Intro")))
         assert out.accepted
         course_row = u.db.table("course").get(("CS101",))
         assert course_row is not None
@@ -109,34 +107,34 @@ class TestInsertion:
 
     def test_insert_at_root_derives_dept(self, registrar_updater):
         u = registrar_updater
-        out = u.insert(".", "course", ("CS700", "Theory"))
+        out = u.apply_op(InsertOp(".", "course", ("CS700", "Theory")))
         assert out.accepted
         assert u.db.table("course").get(("CS700",)) == ("CS700", "Theory", "CS")
         assert_view_equals_republish(u)
 
     def test_insert_rightmost_child(self, registrar_updater):
         u = registrar_updater
-        u.insert(".", "course", ("CS700", "Theory"))
+        u.apply_op(InsertOp(".", "course", ("CS700", "Theory")))
         tree = u.xml_tree()
         assert tree.children[-1].sem == ("CS700", "Theory")
 
     def test_insert_side_effect_aborts(self, registrar_updater):
         with pytest.raises(SideEffectError):
-            registrar_updater.insert(
+            registrar_updater.apply_op(InsertOp(
                 "course[cno=CS650]//course[cno=CS320]/prereq",
                 "course",
                 ("CS500", "Operating Systems"),
-            )
+            ))
 
     def test_insert_side_effect_propagates_everywhere(
         self, registrar_updater_propagate
     ):
         u = registrar_updater_propagate
-        out = u.insert(
+        out = u.apply_op(InsertOp(
             "course[cno=CS650]//course[cno=CS320]/prereq",
             "course",
             ("CS500", "Operating Systems"),
-        )
+        ))
         assert out.accepted
         tree = u.xml_tree()
         for node in tree.iter():
@@ -154,48 +152,48 @@ class TestInsertion:
             atg, db, side_effect_policy=SideEffectPolicy.PROPAGATE
         )
         with pytest.raises(UpdateRejectedError, match="cycle"):
-            u.insert(
+            u.apply_op(InsertOp(
                 "//course[cno=CS240]/prereq",
                 "course",
                 ("CS320", "Databases"),
-            )
+            ))
         assert_view_equals_republish(u)
 
     def test_insert_invalid_type_rejected(self, registrar_updater):
         with pytest.raises(ValidationError):
-            registrar_updater.insert(
+            registrar_updater.apply_op(InsertOp(
                 "course[cno=CS650]/prereq", "student", ("S09", "X")
-            )
+            ))
 
     def test_insert_selects_nothing_rejected(self, registrar_updater):
         with pytest.raises(UpdateRejectedError):
-            registrar_updater.insert(
+            registrar_updater.apply_op(InsertOp(
                 "course[cno=NOPE]/prereq", "course", ("CS1", "x")
-            )
+            ))
 
     def test_insert_conflicting_existing_row_rejected(self, registrar_updater):
         """Inserting (CS240, WRONG-TITLE): the course table already binds
         CS240 to a different title, so the target is not derivable."""
         with pytest.raises(UpdateRejectedError):
-            registrar_updater.insert(
+            registrar_updater.apply_op(InsertOp(
                 "course[cno=CS650]/prereq", "course", ("CS240", "WRONG")
-            )
+            ))
 
     def test_insert_set_semantics_noop(self, registrar_updater):
         u = registrar_updater
-        out = u.insert(
+        out = u.apply_op(InsertOp(
             "//course[cno=CS320]/prereq", "course",
             ("CS240", "Data Structures"),
-        )
+        ))
         assert out.accepted
         assert len(out.delta_r) == 0  # edge already exists
         assert_view_equals_republish(u)
 
     def test_insert_student(self, registrar_updater):
         u = registrar_updater
-        out = u.insert(
+        out = u.apply_op(InsertOp(
             "course[cno=CS650]/takenBy", "student", ("S09", "Barbara")
-        )
+        ))
         assert out.accepted
         relations = sorted(op.relation for op in out.delta_r)
         assert relations == ["enroll", "student"]
@@ -203,9 +201,9 @@ class TestInsertion:
 
     def test_insert_existing_student_only_enrolls(self, registrar_updater):
         u = registrar_updater
-        out = u.insert(
+        out = u.apply_op(InsertOp(
             "course[cno=CS650]/takenBy", "student", ("S03", "Edsger")
-        )
+        ))
         assert out.accepted
         assert [op.relation for op in out.delta_r] == ["enroll"]
         assert_view_equals_republish(u)
@@ -215,26 +213,26 @@ class TestSequences:
     def test_insert_then_delete_roundtrip(self, registrar_updater):
         u = registrar_updater
         before = u.xml_tree()
-        u.insert("course[cno=CS650]/prereq", "course", ("CS500", "Operating Systems"))
-        u.delete("course[cno=CS650]/prereq/course[cno=CS500]")
+        u.apply_op(InsertOp("course[cno=CS650]/prereq", "course", ("CS500", "Operating Systems")))
+        u.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS500]"))
         assert tree_equal(u.xml_tree(), before)
         assert_view_equals_republish(u)
 
     def test_many_sequential_updates(self, registrar_updater_propagate):
         u = registrar_updater_propagate
-        u.insert(".", "course", ("CS700", "Theory"))
-        u.insert("course[cno=CS700]/prereq", "course", ("CS240", "Data Structures"))
-        u.insert("course[cno=CS700]/takenBy", "student", ("S02", "Grace"))
-        u.delete("course[cno=CS650]/prereq/course[cno=CS320]")
-        u.delete("//student[ssn=S01]")
+        u.apply_op(InsertOp(".", "course", ("CS700", "Theory")))
+        u.apply_op(InsertOp("course[cno=CS700]/prereq", "course", ("CS240", "Data Structures")))
+        u.apply_op(InsertOp("course[cno=CS700]/takenBy", "student", ("S02", "Grace")))
+        u.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
+        u.apply_op(DeleteOp("//student[ssn=S01]"))
         assert_view_equals_republish(u)
 
     def test_xml_matches_tree_publishing_after_updates(
         self, registrar_updater_propagate
     ):
         u = registrar_updater_propagate
-        u.insert(".", "course", ("CS700", "Theory"))
-        u.delete("//course[cno=CS240]")
+        u.apply_op(InsertOp(".", "course", ("CS700", "Theory")))
+        u.apply_op(DeleteOp("//course[cno=CS240]"))
         direct = publish_tree(u.atg, u.db)
         assert tree_equal(u.xml_tree(), direct)
 
@@ -249,7 +247,7 @@ class TestEvaluateOnly:
 
     def test_rebuild(self, registrar_updater):
         u = registrar_updater
-        u.delete("course[cno=CS650]/prereq/course[cno=CS320]")
+        u.apply_op(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
         u.rebuild()
         assert_view_equals_republish(u)
 
@@ -277,11 +275,11 @@ class TestBOMDomain:
             if updater.store.type_of(n) == "part"
         )
         pid = updater.store.sem_of(part)[0]
-        out = updater.insert(
+        out = updater.apply_op(InsertOp(
             f"//part[pid={pid}]/components", "part", ("P9999", "new-part")
-        )
+        ))
         assert out.accepted
         assert updater.check_consistency() == []
-        out2 = updater.delete(f"//part[pid={pid}]/components/part[pid=P9999]")
+        out2 = updater.apply_op(DeleteOp(f"//part[pid={pid}]/components/part[pid=P9999]"))
         assert out2.accepted
         assert updater.check_consistency() == []

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.atg.publisher import publish_store
-from repro.core.updater import SideEffectPolicy, XMLViewUpdater
+from repro.core.updater import XMLViewUpdater
+from repro.errors import ReproError
+from repro.ops import DeleteOp, InsertOp, ReplaceOp, op_from_json
+from repro.workloads import named_workload
 from repro.workloads.bom import build_bom
 from repro.workloads.queries import make_workload
 from repro.workloads.registrar import build_registrar
@@ -81,7 +84,7 @@ class TestWorkloads:
         ops = make_workload(small_synthetic, "delete", cls, count=5)
         assert 0 < len(ops) <= 5
         for op in ops:
-            assert op.kind == "delete" and op.cls == cls
+            assert isinstance(op, DeleteOp) and op.kind == "delete"
             if cls == "W1":
                 assert "//" in op.path
             if cls == "W3":
@@ -91,10 +94,24 @@ class TestWorkloads:
     def test_insert_workload_shapes(self, small_synthetic, cls):
         ops = make_workload(small_synthetic, "insert", cls, count=5)
         for op in ops:
-            assert op.kind == "insert"
+            assert isinstance(op, InsertOp) and op.kind == "insert"
             assert op.path.endswith("/sub")
             assert op.element == "cnode"
-            assert op.sem is not None
+            assert op.sem
+
+    @pytest.mark.parametrize("cls", ["W1", "W2", "W3"])
+    def test_replace_workload_shapes(self, small_synthetic, cls):
+        ops = make_workload(small_synthetic, "replace", cls, count=5)
+        for op in ops:
+            assert isinstance(op, ReplaceOp) and op.kind == "replace"
+            assert not op.path.endswith("/sub")  # replaces the cnode itself
+            assert op.element == "cnode"
+            assert op.sem
+
+    def test_workload_ops_serialize(self, small_synthetic):
+        for kind in ("delete", "insert", "replace"):
+            for op in make_workload(small_synthetic, kind, "W2", count=3):
+                assert op_from_json(op.to_json()) == op
 
     def test_deterministic(self, small_synthetic):
         a = make_workload(small_synthetic, "delete", "W1", count=5, seed=9)
@@ -107,7 +124,7 @@ class TestWorkloads:
 
     def test_unknown_kind_rejected(self, small_synthetic):
         with pytest.raises(ValueError):
-            make_workload(small_synthetic, "replace", "W1")
+            make_workload(small_synthetic, "upsert", "W1")
 
     def test_delete_workloads_select_nodes(self, synthetic_updater):
         updater, dataset = synthetic_updater
@@ -132,3 +149,21 @@ class TestBOM:
         for node in roots:
             pid = store.sem_of(node)[0]
             assert db.table("part").get((pid,))[2] == "assembly"
+
+
+class TestNamedWorkload:
+    @pytest.mark.parametrize(
+        "name", ["registrar", "bom", "synthetic:60", "synthetic:60:5", "chain:20"]
+    )
+    def test_known_names_resolve(self, name):
+        atg, db = named_workload(name)
+        assert db.size() > 0
+        assert atg.dtd.root
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown workload"):
+            named_workload("nope")
+
+    def test_bad_parameter_rejected(self):
+        with pytest.raises(ReproError, match="bad numeric"):
+            named_workload("synthetic:tiny")
