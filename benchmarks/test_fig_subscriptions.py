@@ -1,0 +1,189 @@
+"""Subscription maintenance vs evaluate-per-op (the tentpole claim).
+
+A service keeping N standing XPath queries current across a stream of
+updates has two strategies:
+
+- **evaluate-per-op** — after every committed op, re-run every query
+  with ``service.xpath`` (what clients did before subscriptions);
+- **subscriptions** — register each query once; the engine consumes the
+  ΔV event of every commit and, per query, *skips* (dependency
+  disjoint), re-evaluates a *suffix* from a cached context, or falls
+  back to a full evaluation (``//`` queries, coarse events).
+
+Both strategies run the identical op stream over identically built
+views; the benchmark times only the query-maintenance side (the
+registry's publish work plus every ``result()`` read vs the fresh
+evaluations), asserts result equality op by op, and checks the
+tentpole claim: **≥ 3× faster at the largest configured size**.
+Timings land in ``BENCH_index.json`` via ``conftest.record_bench``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import SIZES, record_bench
+
+from repro.relview.insert import reset_fresh_counter
+from repro.service import ViewConfig, open_view
+from repro.workloads import REGISTRAR_QUERIES, make_query_set, make_workload
+from repro.workloads.registrar import build_registrar
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+#: Standing queries per service; dominated by prunable anchored paths
+#: with a realistic share of never-prunable ``//`` queries.
+N_QUERIES = 24
+OPS_PER_KIND = 4
+LARGEST = max(SIZES)
+
+
+def _service(dataset):
+    reset_fresh_counter()
+    return open_view(
+        dataset.atg,
+        dataset.db,
+        config=ViewConfig(side_effects="propagate", strict=False),
+    )
+
+
+def _op_stream(dataset):
+    ops = []
+    for cls in ("W1", "W2", "W3"):
+        ops.extend(make_workload(dataset, "delete", cls, count=OPS_PER_KIND))
+    ops.extend(make_workload(
+        dataset, "insert", "W2", count=OPS_PER_KIND, new_key_fraction=0.0
+    ))
+    ops.extend(make_workload(
+        dataset, "replace", "W2", count=OPS_PER_KIND, new_key_fraction=0.0
+    ))
+    return ops
+
+
+def _measure(n_c: int) -> dict:
+    """Run both strategies over the same stream; return timings."""
+    dataset = build_synthetic(SyntheticConfig(n_c=n_c, seed=42))
+    queries = make_query_set(dataset, count=N_QUERIES)
+    ops = _op_stream(dataset)
+
+    # -- evaluate-per-op baseline --------------------------------------------------
+    baseline = _service(dataset)
+    baseline_seconds = 0.0
+    baseline_results: list[list[tuple[int, ...]]] = []
+    for op in ops:
+        baseline.apply(op)
+        start = time.perf_counter()
+        snapshot = [
+            tuple(sorted(baseline.xpath(q).targets)) for q in queries
+        ]
+        baseline_seconds += time.perf_counter() - start
+        baseline_results.append(snapshot)
+
+    # -- subscriptions -------------------------------------------------------------
+    dataset2 = build_synthetic(SyntheticConfig(n_c=n_c, seed=42))
+    service = _service(dataset2)
+    subs = [service.subscribe(q) for q in queries]
+    sub_seconds = 0.0
+    for index, op in enumerate(ops):
+        before = service.subscriptions.publish_seconds
+        service.apply(op)  # maintenance runs inside the commit...
+        sub_seconds += service.subscriptions.publish_seconds - before
+        start = time.perf_counter()
+        snapshot = [sub.result() for sub in subs]
+        sub_seconds += time.perf_counter() - start
+        # ...and must agree with evaluate-per-op after every op.
+        assert snapshot == baseline_results[index], (
+            f"subscription drift after op {index} ({op.kind})"
+        )
+
+    stats = service.subscriptions.stats()
+    return {
+        "n_c": n_c,
+        "ops": len(ops),
+        "queries": len(queries),
+        "evaluate_per_op": baseline_seconds,
+        "subscriptions": sub_seconds,
+        "skips": stats["skips"],
+        "suffix_refreshes": stats["suffix_refreshes"],
+        "full_refreshes": stats["full_refreshes"],
+    }
+
+
+@pytest.mark.parametrize("n_c", SIZES)
+def test_subscriptions_agree_and_record(n_c):
+    measured = _measure(n_c)
+    experiment = f"fig_subscriptions:n{n_c}"
+    extra = {k: measured[k] for k in (
+        "ops", "queries", "skips", "suffix_refreshes", "full_refreshes",
+    )}
+    record_bench(
+        experiment, "auto", "evaluate_per_op",
+        measured["evaluate_per_op"], **extra,
+    )
+    record_bench(
+        experiment, "auto", "subscriptions",
+        measured["subscriptions"], **extra,
+    )
+    # The engine must actually prune: a silent degradation to
+    # evaluate-per-op would keep equality but lose the point.
+    assert measured["skips"] > 0
+    assert measured["suffix_refreshes"] > 0
+
+
+def test_registrar_subscriptions_agree():
+    """Same claim on the running example (tiny view, full op coverage)."""
+    from repro.ops import BaseUpdateOp, DeleteOp, InsertOp, ReplaceOp
+
+    atg, db = build_registrar()
+    service = open_view(
+        atg, db,
+        config=ViewConfig(side_effects="propagate", strict=False),
+    )
+    subs = [service.subscribe(q) for q in REGISTRAR_QUERIES]
+    stream = [
+        DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+        InsertOp("course[cno=CS650]/prereq", "course",
+                 ("CS500", "Operating Systems")),
+        ReplaceOp("course[cno=CS650]/prereq/course[cno=CS500]",
+                  "course", ("CS320", "Databases")),
+        BaseUpdateOp(ops=(
+            ("insert", "course", ("CS777", "Compilers", "CS")),
+        )),
+        InsertOp(".", "course", ("CS700", "Theory")),
+    ]
+    for op in stream:
+        service.apply(op)
+        for sub in subs:
+            fresh = tuple(sorted(service.xpath(sub.path).targets))
+            assert sub.result() == fresh, sub.path
+    stats = service.subscriptions.stats()
+    record_bench(
+        "fig_subscriptions:registrar", "auto", "publish",
+        stats["publish_seconds"],
+        ops=len(stream), queries=len(subs), skips=stats["skips"],
+        suffix_refreshes=stats["suffix_refreshes"],
+        full_refreshes=stats["full_refreshes"],
+    )
+    assert stats["skips"] > 0
+
+
+@pytest.mark.perf
+def test_subscriptions_beat_evaluate_per_op_3x():
+    """Tentpole acceptance: ≥3× at the largest configured size."""
+    measured = _measure(LARGEST)
+    ratio = measured["evaluate_per_op"] / max(
+        measured["subscriptions"], 1e-9
+    )
+    record_bench(
+        f"fig_subscriptions:n{LARGEST}", "auto", "speedup_vs_eval_per_op",
+        0.0, ratio=round(ratio, 2),
+    )
+    assert ratio >= 3.0, (
+        f"subscription maintenance only {ratio:.2f}x faster than "
+        f"evaluate-per-op at n_c={LARGEST} "
+        f"(baseline {measured['evaluate_per_op']:.4f}s vs "
+        f"subscriptions {measured['subscriptions']:.4f}s; "
+        f"skips={measured['skips']} "
+        f"suffix={measured['suffix_refreshes']} "
+        f"full={measured['full_refreshes']})"
+    )

@@ -49,6 +49,7 @@ from repro.ops import (
     ops_from_jsonl,
 )
 from repro.service import RWLock, ViewConfig, ViewService, open_view
+from repro.subscribe import Subscription, SubscriptionRegistry
 from repro.dtd import DTD, parse_dtd
 from repro.index import (
     BitsetReachabilityIndex,
@@ -72,7 +73,7 @@ from repro.relational import (
 from repro.views import ViewStore, build_registry
 from repro.xpath import parse_xpath
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "ATG",
@@ -102,6 +103,8 @@ __all__ = [
     "ViewService",
     "ViewConfig",
     "RWLock",
+    "Subscription",
+    "SubscriptionRegistry",
     "ReachabilityIndex",
     "SetReachabilityIndex",
     "BitsetReachabilityIndex",

@@ -20,8 +20,16 @@ Input lines look like::
      "sem": ["CS241", "Data Structures II"]}
     {"op": "base_update", "ops": [["insert", "course", ["CS800", "Quantum", "CS"]]]}
 
+A malformed line is reported to stderr as ``bad input: line N: ...``;
+by default (``--stop-on-error``) processing stops there — the ops
+before it *stay applied* and the summary says where the stream stopped
+— while ``--keep-going`` skips bad lines and processes the rest.
+Either way the exit status is nonzero.
+
 Exit status: 0 on success (rejected updates are *reported*, not fatal),
-1 when the final consistency check fails, 2 on malformed input.
+1 when the final consistency check fails, 2 on malformed input (even
+with ``--keep-going``) or an environment error (unknown workload,
+unreadable file).
 """
 
 from __future__ import annotations
@@ -62,9 +70,15 @@ def run(
     index_backend: str = "auto",
     plan_only: bool = False,
     as_json: bool = False,
+    stop_on_error: bool = True,
     out: TextIO | None = None,
 ) -> int:
-    """Drive the service with a JSONL op stream; returns the exit code."""
+    """Drive the service with a JSONL op stream; returns the exit code.
+
+    Malformed lines are reported with their line number; earlier ops
+    stay applied either way.  ``stop_on_error`` (default) stops the
+    stream at the first bad line, otherwise bad lines are skipped.
+    """
     if out is None:
         out = sys.stdout
     atg, db = named_workload(workload)
@@ -72,8 +86,19 @@ def run(
         side_effects=policy, index_backend=index_backend, strict=False
     )
     service = open_view(atg, db, config=config)
-    accepted = rejected = count = 0
-    for op in ops_from_jsonl(lines):
+    accepted = rejected = count = bad_lines = 0
+    stopped_at: int | None = None
+
+    def on_error(lineno: int, exc: OpDecodeError) -> bool:
+        nonlocal bad_lines, stopped_at
+        bad_lines += 1
+        print(f"bad input: line {lineno}: {exc}", file=sys.stderr)
+        if stop_on_error:
+            stopped_at = lineno
+            return False
+        return True
+
+    for op in ops_from_jsonl(lines, on_error=on_error):
         count += 1
         if plan_only:
             plan = service.plan(op)
@@ -95,18 +120,24 @@ def run(
     if not as_json:
         mode = "planned (dry run)" if plan_only else "applied"
         stats = service.stats()
+        trailer = ""
+        if stopped_at is not None:
+            trailer = f"; stopped at line {stopped_at}"
+        elif bad_lines:
+            trailer = f"; {bad_lines} malformed line(s) skipped"
         print(
             f"{count} op(s) {mode} against {workload!r}: "
             f"{accepted} accepted, {rejected} rejected; "
             f"view now {stats['nodes']} nodes / {stats['edges']} edges; "
-            f"consistency {'OK' if not problems else 'FAILED'}",
+            f"consistency {'OK' if not problems else 'FAILED'}{trailer}",
             file=out,
         )
     if problems:
         for problem in problems:
             print(f"consistency: {problem}", file=sys.stderr)
-        return 1
-    return 0
+    if bad_lines:
+        return 2  # malformed input wins, as the docstring promises
+    return 1 if problems else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -146,6 +177,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit one JSON outcome per line instead of the summary table",
     )
+    errors = parser.add_mutually_exclusive_group()
+    errors.add_argument(
+        "--stop-on-error",
+        dest="stop_on_error",
+        action="store_true",
+        default=True,
+        help="stop at the first malformed line (default); earlier ops "
+        "stay applied and the failing line number is reported",
+    )
+    errors.add_argument(
+        "--keep-going",
+        dest="stop_on_error",
+        action="store_false",
+        help="skip malformed lines (reported with their line number) "
+        "and process the rest; exit status is still nonzero",
+    )
     args = parser.parse_args(argv)
     try:
         if args.ops_file == "-":
@@ -157,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
                 index_backend=args.index_backend,
                 plan_only=args.plan_only,
                 as_json=args.as_json,
+                stop_on_error=args.stop_on_error,
             )
         with open(args.ops_file, "r", encoding="utf-8") as handle:
             return run(
@@ -166,11 +214,11 @@ def main(argv: list[str] | None = None) -> int:
                 index_backend=args.index_backend,
                 plan_only=args.plan_only,
                 as_json=args.as_json,
+                stop_on_error=args.stop_on_error,
             )
-    except OpDecodeError as exc:
-        print(f"bad input: {exc}", file=sys.stderr)
-        return 2
     except (OSError, ReproError) as exc:
+        # Decode errors are handled per line inside run(); this covers
+        # environment failures (unknown workload, unreadable file).
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

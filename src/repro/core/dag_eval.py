@@ -115,19 +115,72 @@ class DagXPathEvaluator:
         self._detect_side_effects(path, result, filter_values, mode)
         return result
 
+    def evaluate_from(
+        self, path: XPath, start: list[int] | None = None
+    ) -> EvalResult:
+        """Targets-and-contexts evaluation, optionally from a mid-path
+        context instead of the root.
+
+        The subscription engine's entry point: ``path`` may be a step
+        *suffix* of a subscribed query and ``start`` the cached context
+        the suffix re-evaluates from.  Filters without ``//`` inside
+        them are evaluated lazily (memoized, on demand at the nodes the
+        top-down pass actually consults) so the cost tracks the
+        contexts, not ``|V|``; filters containing ``//`` fall back to
+        the bottom-up sweep, restricted to the descendant cone of
+        ``start`` when one is given.  ``Ep`` and side-effect detection
+        need the full root-anchored arrival structure, so neither is
+        computed — ``result.ep`` / ``result.side_effects`` stay empty.
+        """
+        if start is None and self.store.root_id is None:
+            raise ValueError("store has no root")
+        program = _compile(path)
+        filter_values: _FilterValues | _LazyFilterValues
+        if not program.units:
+            filter_values = _FilterValues(program)
+        elif not any(
+            op[0] == 3
+            for ops, _ in program.path_plans
+            for op in ops
+        ):
+            filter_values = _LazyFilterValues(program, self.store)
+        else:
+            sweep: list[int] | None = None
+            if start is not None:
+                cone = set(start)
+                cone |= (
+                    self.reach.desc_of_set(start)
+                    if self.reach is not None
+                    else self.store.descendants_of(start)
+                )
+                sweep = self.topo.sort_nodes(cone)  # children first
+            filter_values = self._bottom_up(path, sweep, program)
+        return self._top_down(
+            path, filter_values, start=start, with_ep=False
+        )
+
     # ------------------------------------------------------------------
     # Bottom-up pass: filters
     # ------------------------------------------------------------------
 
-    def _bottom_up(self, path: XPath) -> "_FilterValues":
+    def _bottom_up(
+        self,
+        path: XPath,
+        sweep: list[int] | None = None,
+        program: "_Program | None" = None,
+    ) -> "_FilterValues":
         """Evaluate every filter sub-expression at every node.
 
         The expression set is compiled once into integer-indexed plans
         (hashing an ``XPath`` per memo access would dominate the pass),
         then a single sweep over ``L`` (children before parents) fills
-        per-expression truth tables.
+        per-expression truth tables.  ``sweep`` restricts the pass to a
+        descendant-closed node subset in children-first order (suffix
+        re-evaluation); ``None`` sweeps the whole order.  Callers that
+        already compiled the path pass its ``program``.
         """
-        program = _compile(path)
+        if program is None:
+            program = _compile(path)
         values = _FilterValues(program)
         if not program.units:
             return values
@@ -138,7 +191,8 @@ class DagXPathEvaluator:
         ex_tables = values.ex_tables
         dsc_tables = values.dsc_tables
         f_tables = values.f_tables
-        for node in self.topo:  # descendants (children) first
+        for node in (self.topo if sweep is None else sweep):
+            # descendants (children) first
             children = children_of(node)
             for kind, index in program.units:
                 if kind == "path":
@@ -193,16 +247,27 @@ class DagXPathEvaluator:
     # Top-down pass: contexts, targets, Ep
     # ------------------------------------------------------------------
 
-    def _top_down(self, path: XPath, memo: "_FilterValues") -> EvalResult:
+    def _top_down(
+        self,
+        path: XPath,
+        memo: "_FilterValues",
+        start: list[int] | None = None,
+        with_ep: bool = True,
+    ) -> EvalResult:
         store = self.store
         result = EvalResult(path)
-        root = store.root_id
-        assert root is not None
-        current: list[int] = [root]
+        if start is None:
+            root = store.root_id
+            assert root is not None
+            current: list[int] = [root]
+        else:
+            current = list(start)
         result.contexts.append(list(current))
         # Arrival structure per step: for child steps a dict node -> set
         # of parents in the previous context; for // steps the region.
-        self._arrivals: list[dict[int, set[int]]] = [{root: set()}]
+        self._arrivals: list[dict[int, set[int]]] = [
+            {node: set() for node in current}
+        ]
         self._regions: dict[int, set[int]] = {}
 
         for index, step in enumerate(path.steps, start=1):
@@ -253,7 +318,8 @@ class DagXPathEvaluator:
                 break
 
         result.targets = list(current) if result.contexts[-1] else []
-        result.ep = self._compute_ep(path, result)
+        if with_ep:
+            result.ep = self._compute_ep(path, result)
         return result
 
     def _compute_ep(self, path: XPath, result: EvalResult) -> list[
@@ -406,6 +472,94 @@ class _FilterValues:
         if index is None:  # pragma: no cover - compiler registers all
             return False
         return self.f_tables[index].get(node, False)
+
+
+class _LazyFilterValues:
+    """On-demand, memoized filter truth — for filters without ``//``.
+
+    Presents the same ``filter_holds`` interface as
+    :class:`_FilterValues` but evaluates each (expression, node) pair
+    only when the top-down pass asks for it, recursing over the *plan*
+    (bounded by the filter's step count) rather than the data.  Plans
+    containing descendant-or-self ops (code 3) would recurse over the
+    possibly deep DAG, so the compiler keeps those on the bottom-up
+    sweep instead.
+    """
+
+    def __init__(self, program: _Program, store):
+        self.program = program
+        self.store = store
+        self._f_memo: list[dict[int, bool]] = [
+            {} for _ in program.filter_plans
+        ]
+        self._ex_memo: list[list[dict[int, bool]]] = [
+            [{} for _ in range(len(ops) + 1)]
+            for ops, _ in program.path_plans
+        ]
+
+    def filter_holds(self, filt: Filter, node: int) -> bool:
+        index = self.program.filter_index.get(filt)
+        if index is None:  # pragma: no cover - compiler registers all
+            return False
+        return self._filter(index, node)
+
+    def _filter(self, index: int, node: int) -> bool:
+        memo = self._f_memo[index]
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        plan = self.program.filter_plans[index]
+        code = plan[0]
+        if code == 0:  # label test
+            result = self.store.type_of(node) == plan[1]
+        elif code == 1:  # exists/value path
+            result = self._ex(plan[1], 0, node)
+        elif code == 2:  # and
+            result = all(self._filter(k, node) for k in plan[1])
+        elif code == 3:  # or
+            result = any(self._filter(k, node) for k in plan[1])
+        else:  # code == 4: not
+            result = not self._filter(plan[1], node)
+        memo[node] = result
+        return result
+
+    def _ex(self, pindex: int, i: int, node: int) -> bool:
+        memo = self._ex_memo[pindex][i]
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        ops, value = self.program.path_plans[pindex]
+        if i == len(ops):
+            result = (
+                True if value is None
+                else self.store.value_of(node) == value
+            )
+        else:
+            op = ops[i]
+            code = op[0]
+            if code == 0:  # label step
+                label = op[1]
+                type_of = self.store.type_of
+                result = any(
+                    type_of(c) == label and self._ex(pindex, i + 1, c)
+                    for c in self.store.children_of(node)
+                )
+            elif code == 1:  # wildcard
+                result = any(
+                    self._ex(pindex, i + 1, c)
+                    for c in self.store.children_of(node)
+                )
+            elif code == 2:  # filter step
+                result = (
+                    self._filter(op[1], node)
+                    and self._ex(pindex, i + 1, node)
+                )
+            else:  # pragma: no cover - excluded by the caller
+                raise AssertionError(
+                    "descendant plans require the bottom-up sweep"
+                )
+        memo[node] = result
+        return result
 
 
 def _compile(path: XPath) -> _Program:

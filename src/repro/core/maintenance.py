@@ -61,6 +61,12 @@ class DeleteMaintenance:
     removed_pairs: int = 0
     gc_delta: ViewDelta = field(default_factory=ViewDelta)
     removed_nodes: list[int] = field(default_factory=list)
+    removed_info: dict[int, tuple[str, str | None]] = field(
+        default_factory=dict
+    )
+    """(type, PCDATA value) per garbage-collected node, captured before
+    removal — subscription events need child values the store no longer
+    holds."""
 
 
 def place_new_nodes(
@@ -197,6 +203,9 @@ def maintain_delete(
         report.removed_pairs += reach.retain_ancestors(node, surviving)
         if not surviving and node != store.root_id:
             condemned.add(node)
+            report.removed_info[node] = (
+                store.type_of(node), store.value_of(node)
+            )
             for child in list(store.children_of(node)):
                 report.gc_delta.delete(
                     store.type_of(node), store.type_of(child), node, child

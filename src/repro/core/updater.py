@@ -78,6 +78,7 @@ from repro.ops import (
 from repro.relational.database import Database, RelationalDelta
 from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.relview.insert import translate_insertions
+from repro.subscribe.delta import ViewEvent, edge_records_from_delta
 from repro.views.registry import EdgeViewRegistry, build_registry
 from repro.views.store import ViewDelta, ViewStore
 from repro.xmltree.tree import XMLNode
@@ -287,10 +288,16 @@ class UpdatePlan:
         # up front so a commit failure never wedges the updater (and so
         # a base-update commit can pass apply_base_update's plan guard).
         updater._outstanding_plan = None
+        notify = bool(updater._observers)
+        edge_records = []
         try:
             if self._base_delta is not None:
-                with _Timer(outcome, "apply"):
-                    report = updater.apply_base_update(self._base_delta)
+                updater._in_plan_commit = True
+                try:
+                    with _Timer(outcome, "apply"):
+                        report = updater.apply_base_update(self._base_delta)
+                finally:
+                    updater._in_plan_commit = False
                 outcome.stats.update(
                     edges_added=len(report.edges_added),
                     edges_removed=len(report.edges_removed),
@@ -303,8 +310,22 @@ class UpdatePlan:
                         updater.db.apply(outcome.delta_r)
                     if outcome.delta_v is not None:
                         updater.store.apply(outcome.delta_v)
+                if notify and outcome.delta_v is not None:
+                    # Capture child values before GC can drop the nodes.
+                    edge_records = edge_records_from_delta(
+                        updater.store, outcome.delta_v
+                    )
                 with _Timer(outcome, "maintain"):
-                    updater._maintain(self._inserts, self._delete_feed)
+                    delete_reports = updater._maintain(
+                        self._inserts, self._delete_feed
+                    )
+                if notify:
+                    for dm in delete_reports:
+                        edge_records.extend(
+                            edge_records_from_delta(
+                                updater.store, dm.gc_delta, dm.removed_info
+                            )
+                        )
         except BaseException:
             self.state = PlanState.FAILED
             updater._version += 1  # state may have partially changed
@@ -313,6 +334,20 @@ class UpdatePlan:
         self.state = PlanState.COMMITTED
         updater._version += 1
         updater._post_verify()
+        if notify:
+            if self._base_delta is not None:
+                updater._emit(ViewEvent(
+                    generation=updater._version,
+                    coarse=True,
+                    reason="base_update",
+                ))
+            else:
+                updater._emit(ViewEvent(
+                    generation=updater._version,
+                    edges=edge_records,
+                    deferred=updater._session is not None,
+                    reason=self.op.kind,
+                ))
         return outcome
 
     def abort(self) -> None:
@@ -391,6 +426,13 @@ class XMLViewUpdater:
         self._outstanding_plan: UpdatePlan | None = None
         self._version = 0
         """Bumped on every committed mutation; guards stale plans."""
+        self._observers: list = []
+        """Commit observers: called with one ΔV :class:`ViewEvent` per
+        committed mutation (the subscription engine registers here).
+        Empty list = zero event-construction overhead."""
+        self._in_plan_commit = False
+        """True while a plan commit drives ``apply_base_update`` (the
+        commit emits the final event itself)."""
 
     # -- public API -----------------------------------------------------------
 
@@ -402,6 +444,28 @@ class XMLViewUpdater:
         """Evaluate an XPath on the current view (no update)."""
         parsed = parse_xpath(path) if isinstance(path, str) else path
         return self._evaluator().evaluate(parsed)
+
+    def evaluator(self) -> DagXPathEvaluator:
+        """A read-only evaluator bound to the current state.
+
+        Falls back to store-walk descendant regions while a batch
+        session's ``M`` repair is pending (see :meth:`_evaluator`).
+        """
+        return self._evaluator()
+
+    # -- commit observers -------------------------------------------------------
+
+    def add_observer(self, observer) -> None:
+        """Register ``observer(event: ViewEvent)`` to run after every
+        committed mutation, inside the writer's critical section."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        self._observers.remove(observer)
+
+    def _emit(self, event: ViewEvent) -> None:
+        for observer in list(self._observers):
+            observer(event)
 
     def apply_op(self, op: UpdateOperation) -> UpdateOutcome:
         """Translate and apply one typed update operation.
@@ -696,13 +760,15 @@ class XMLViewUpdater:
         self,
         inserts: list[tuple[SubtreeResult, list[int]]],
         delete_feed: EvalResult | list[int] | None,
-    ) -> None:
+    ) -> list[DeleteMaintenance]:
         """One update's Δ(M,L) phase: insert repairs, then the delete pass.
 
         The ordering matches :meth:`UpdateSession.flush` — insert
         repairs are pure pair additions; the closing delete pass removes
         stale pairs and garbage-collects, so composites (replace)
-        converge to the closure of the final store.
+        converge to the closure of the final store.  Returns the delete
+        reports (commit events need their GC ΔV); empty when deferred
+        to a session.
         """
         if self._session is not None:
             for subtree, targets in inserts:
@@ -714,7 +780,8 @@ class XMLViewUpdater:
                     else delete_feed
                 )
                 self._session.defer_delete(list(targets))
-            return
+            return []
+        delete_reports: list[DeleteMaintenance] = []
         for subtree, targets in inserts:
             self.last_maintenance = maintain_insert(
                 self.store, self.topo, self.reach, subtree, targets
@@ -723,7 +790,9 @@ class XMLViewUpdater:
             self.last_maintenance = maintain_delete(
                 self.store, self.topo, self.reach, delete_feed
             )
+            delete_reports.append(self.last_maintenance)
         self.maintenance_runs += 1
+        return delete_reports
 
     def _evaluator(self) -> DagXPathEvaluator:
         """An evaluator for the current state.
@@ -794,6 +863,14 @@ class XMLViewUpdater:
         )
         self._version += 1
         self._post_verify()
+        if self._observers and not self._in_plan_commit:
+            # Propagation re-derives the view wholesale; describing it
+            # edge-by-edge buys nothing, so subscriptions get a coarse
+            # event (full re-evaluation).  A plan-driven base commit
+            # emits its own event with the final generation instead.
+            self._emit(ViewEvent(
+                generation=self._version, coarse=True, reason="base_update"
+            ))
         return report
 
     def _post_verify(self) -> None:
@@ -828,6 +905,11 @@ class XMLViewUpdater:
         self.topo, self.reach = load_structures(
             self.store, self.index_backend
         )
+        self._version += 1
+        if self._observers:
+            self._emit(ViewEvent(
+                generation=self._version, coarse=True, reason="rebuild"
+            ))
 
     def check_consistency(self) -> list[str]:
         """Verify the incremental state against a fresh republish.
@@ -989,6 +1071,7 @@ class UpdateSession:
         self.report = report
         updater = self.updater
         start = time.perf_counter()
+        dm: DeleteMaintenance | None = None
         for subtree, targets in self._pending_inserts:
             report.added_pairs += insert_pairs(
                 updater.store, updater.topo, updater.reach, subtree, targets
@@ -1010,4 +1093,19 @@ class UpdateSession:
         updater._version += 1
         report.seconds = time.perf_counter() - start
         updater._post_verify()
+        if updater._observers:
+            # The flush event releases the per-op events buffered during
+            # the session (even when the only new information is GC).
+            records = (
+                edge_records_from_delta(
+                    updater.store, dm.gc_delta, dm.removed_info
+                )
+                if dm is not None
+                else []
+            )
+            updater._emit(ViewEvent(
+                generation=updater._version,
+                edges=records,
+                reason="batch_flush",
+            ))
         return report

@@ -253,13 +253,28 @@ def op_from_json(text: str) -> UpdateOperation:
     return op_from_dict(payload)
 
 
-def ops_from_jsonl(lines: Iterable[str]) -> Iterator[UpdateOperation]:
-    """Decode a JSON-lines stream; blank lines and ``#`` comments skip."""
+def ops_from_jsonl(
+    lines: Iterable[str],
+    on_error=None,
+) -> Iterator[UpdateOperation]:
+    """Decode a JSON-lines stream; blank lines and ``#`` comments skip.
+
+    Without ``on_error`` a malformed line raises :class:`OpDecodeError`
+    prefixed with ``line N``.  With it, ``on_error(lineno, exc)`` is
+    called instead and decoding *continues* when it returns true and
+    *stops* (cleanly) when it returns false — the CLI's
+    ``--keep-going`` / ``--stop-on-error`` semantics.
+    """
     for lineno, line in enumerate(lines, start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
         try:
-            yield op_from_json(stripped)
+            op = op_from_json(stripped)
         except OpDecodeError as exc:
-            raise OpDecodeError(f"line {lineno}: {exc}") from None
+            if on_error is None:
+                raise OpDecodeError(f"line {lineno}: {exc}") from None
+            if on_error(lineno, exc):
+                continue
+            return
+        yield op

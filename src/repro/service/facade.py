@@ -36,6 +36,7 @@ from repro.ops import BaseUpdateOp, UpdateOperation, op_from_dict
 from repro.relational.database import Database
 from repro.service.config import ViewConfig
 from repro.service.rwlock import RWLock
+from repro.subscribe.engine import Subscription, SubscriptionRegistry
 from repro.xmltree.tree import XMLNode
 from repro.xpath.ast import XPath
 
@@ -66,6 +67,10 @@ class ViewService:
             rng=self.config.make_rng(),
             index_backend=self.config.index_backend,
         )
+        # The registry attaches itself as a commit observer on first
+        # subscribe(), so services that never subscribe pay nothing on
+        # the write path.
+        self.subscriptions = SubscriptionRegistry(self.updater, self._lock)
 
     # -- write path ---------------------------------------------------------------
 
@@ -137,6 +142,22 @@ class ViewService:
             with self.updater.batch() as session:
                 yield _BatchHandle(self.updater, session)
 
+    # -- subscriptions -------------------------------------------------------------
+
+    def subscribe(self, path: str | XPath) -> Subscription:
+        """Register ``path`` as a live query and evaluate it eagerly.
+
+        The returned :class:`~repro.subscribe.engine.Subscription` is
+        maintained incrementally from the ΔV every committed op emits:
+        ``sub.result()`` always equals a fresh :meth:`xpath` evaluation
+        of the same path (as a sorted node-id tuple), usually without
+        re-evaluating anything.  Maintenance happens inside the writer's
+        critical section; ``result()`` takes the read side.  Call
+        ``sub.close()`` to stop maintaining it.
+        """
+        with self._lock.write():
+            return self.subscriptions.subscribe(path)
+
     # -- read path ----------------------------------------------------------------
 
     def xpath(self, path: str | XPath) -> EvalResult:
@@ -167,6 +188,7 @@ class ViewService:
                 "topo_len": len(self.updater.topo),
                 "maintenance_runs": self.updater.maintenance_runs,
                 "index_backend": self.updater.index_backend,
+                "subscriptions": self.subscriptions.stats(),
                 "config": self.config.to_dict(),
             }
 

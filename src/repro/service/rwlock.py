@@ -12,6 +12,11 @@ may also take the read side freely: ``with service.batch(): ...`` holds
 the write lock for the whole block, and service calls made inside the
 block (``apply``, ``xpath``, a held plan's ``commit()``) nest instead
 of deadlocking.
+
+The converse — a reader upgrading to the write side — cannot be
+granted (the writer must wait for all readers, including the upgrading
+one, to drain) and used to hang forever; ``acquire_write`` now tracks
+read-side ownership and raises :class:`RuntimeError` on the attempt.
 """
 
 from __future__ import annotations
@@ -23,13 +28,19 @@ from contextlib import contextmanager
 class RWLock:
     """Many readers or one writer; writers are preferred.
 
-    Reentrant on the write side (per owning thread); the read side is
-    not reentrant, but the write owner may read.
+    Reentrant on both sides (per owning thread): the write owner may
+    write and read freely, and a reader may nest further reads — a
+    nested read must not queue behind a waiting writer, which cannot
+    proceed until the reader drains.  A reader attempting to *write*
+    gets :class:`RuntimeError` (see :meth:`acquire_write`).
     """
 
     def __init__(self):
         self._cond = threading.Condition()
         self._readers = 0
+        self._reader_threads: dict[int, int] = {}
+        """Read-side owners (thread ident → hold depth): upgrade
+        attempts must fail fast instead of deadlocking."""
         self._writer_thread: threading.Thread | None = None
         self._writer_depth = 0
         self._writers_waiting = 0
@@ -40,14 +51,30 @@ class RWLock:
     # -- raw protocol -----------------------------------------------------------
 
     def acquire_read(self) -> None:
+        ident = threading.get_ident()
         with self._cond:
+            if self._reader_threads.get(ident):
+                # Reentrant read: the thread already shares the lock, so
+                # it must not queue behind a waiting writer — the writer
+                # cannot proceed until this thread drains, and blocking
+                # here would deadlock both.
+                self._readers += 1
+                self._reader_threads[ident] += 1
+                return
             while self._writer_thread is not None or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            self._reader_threads[ident] = 1
 
     def release_read(self) -> None:
+        ident = threading.get_ident()
         with self._cond:
             self._readers -= 1
+            depth = self._reader_threads.get(ident, 0) - 1
+            if depth > 0:
+                self._reader_threads[ident] = depth
+            else:
+                self._reader_threads.pop(ident, None)
             if self._readers == 0:
                 self._cond.notify_all()
 
@@ -57,6 +84,17 @@ class RWLock:
             if self._writer_thread is me:
                 self._writer_depth += 1
                 return
+            if threading.get_ident() in self._reader_threads:
+                # A reader waiting for readers (itself included) to
+                # drain can never proceed: fail fast instead of hanging
+                # forever.
+                raise RuntimeError(
+                    "read→write upgrade would deadlock: this thread "
+                    "holds the read side of the RWLock (e.g. calling "
+                    "apply()/plan() from inside a read such as xpath() "
+                    "or a subscription callback); release the read lock "
+                    "before writing"
+                )
             self._writers_waiting += 1
             try:
                 while self._writer_thread is not None or self._readers:

@@ -1,0 +1,30 @@
+"""Incrementally maintained XPath subscriptions (ΔV-driven).
+
+- :mod:`repro.subscribe.delta` — the structured per-commit event model
+  (:class:`ViewEvent` / :class:`EdgeRecord`);
+- :mod:`repro.subscribe.deps` — per-step dependency extraction from the
+  XPath AST, powering skip / suffix-restart decisions;
+- :mod:`repro.subscribe.engine` — :class:`Subscription` and the
+  :class:`SubscriptionRegistry` commit observer.
+
+Public entry point: :meth:`repro.service.ViewService.subscribe`.
+"""
+
+from repro.subscribe.delta import EdgeRecord, ViewEvent, coalesce
+from repro.subscribe.deps import (
+    QueryProfile,
+    first_affected_step,
+    profile_query,
+)
+from repro.subscribe.engine import Subscription, SubscriptionRegistry
+
+__all__ = [
+    "EdgeRecord",
+    "ViewEvent",
+    "coalesce",
+    "QueryProfile",
+    "first_affected_step",
+    "profile_query",
+    "Subscription",
+    "SubscriptionRegistry",
+]

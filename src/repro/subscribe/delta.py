@@ -1,0 +1,117 @@
+"""The structured ΔV event stream consumed by the subscription engine.
+
+Every committed mutation of a published view — foreground ΔV edge
+operations, the background Δ(M,L) repair's garbage collection, base
+update propagation — is described to subscribers as one
+:class:`ViewEvent`: a generation-tagged list of :class:`EdgeRecord`
+changes, or a *coarse* event when the publisher cannot (or does not
+bother to) describe the change precisely.  Coarse events force a full
+re-evaluation of every subscription; fine-grained events let the
+per-step dependency analysis of :mod:`repro.subscribe.deps` skip or
+partially re-evaluate queries.
+
+Edges are the whole story for this XPath fragment: node types and
+string values are immutable once interned (gen_id), the root never
+changes, and a node with no incident edges is unreachable — so query
+results can only move when an edge appears or disappears.  An
+:class:`EdgeRecord` therefore carries the edge's typed endpoints plus
+the child's PCDATA value (captured *before* garbage collection frees
+the node), which is what value-anchored pruning needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.views.store import ViewDelta, ViewStore
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """One edge change, typed and (for PCDATA children) valued."""
+
+    kind: str  # "insert" | "delete"
+    parent_type: str
+    child_type: str
+    parent: int
+    child: int
+    child_value: str | None = None
+    """The child's string value when it is a PCDATA leaf and the value
+    was still known at capture time; ``None`` means "unknown — assume
+    any value" (pruning must stay conservative)."""
+
+
+@dataclass
+class ViewEvent:
+    """One committed mutation, described for subscription maintenance."""
+
+    generation: int
+    """The updater's version counter *after* this mutation; a
+    subscription refreshed against this event is current iff its own
+    generation equals this value."""
+
+    edges: list[EdgeRecord] = field(default_factory=list)
+    coarse: bool = False
+    """True when ``edges`` does not fully describe the change (base
+    update propagation, store rebuilds): every subscription must fully
+    re-evaluate."""
+
+    deferred: bool = False
+    """Emitted mid-batch while the Δ(M,L) repair is still pending; the
+    registry buffers deferred events and processes them, coalesced,
+    when the session's flush event arrives."""
+
+    reason: str = ""
+
+
+def edge_records_from_delta(
+    store: ViewStore,
+    delta: ViewDelta,
+    removed_info: dict[int, tuple[str, str | None]] | None = None,
+) -> list[EdgeRecord]:
+    """Typed+valued records for a ΔV, resolving child values eagerly.
+
+    Must run while the delta's child nodes are still interned (i.e.
+    before garbage collection); for edges whose child has already been
+    collected, ``removed_info`` (node → (type, value), captured by the
+    maintenance pass) supplies the value instead.
+    """
+    records: list[EdgeRecord] = []
+    for op in delta:
+        value: str | None = None
+        if store.has_node(op.child):
+            value = store.value_of(op.child)
+        elif removed_info is not None:
+            value = removed_info.get(op.child, (op.child_type, None))[1]
+        records.append(
+            EdgeRecord(
+                kind=op.kind,
+                parent_type=op.parent_type,
+                child_type=op.child_type,
+                parent=op.parent,
+                child=op.child,
+                child_value=value,
+            )
+        )
+    return records
+
+
+def coalesce(events: Iterable[ViewEvent]) -> ViewEvent:
+    """Merge a buffered event sequence into one (latest generation wins).
+
+    Used when a batch session flushes: the per-op deferred events plus
+    the flush's own GC event collapse into a single event carrying the
+    union of the edge changes.  Membership pruning only needs the set of
+    touched (label, value) coordinates, so concatenation — without
+    cancelling an insert against a later delete — is sound, merely
+    conservative.
+    """
+    merged = ViewEvent(generation=0)
+    for event in events:
+        merged.generation = max(merged.generation, event.generation)
+        merged.coarse = merged.coarse or event.coarse
+        merged.edges.extend(event.edges)
+        if event.reason:
+            merged.reason = event.reason
+    return merged

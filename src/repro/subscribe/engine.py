@@ -1,0 +1,264 @@
+"""Incrementally maintained XPath subscriptions over one published view.
+
+``service.subscribe(path)`` evaluates ``path`` once, eagerly, and from
+then on the :class:`SubscriptionRegistry` — registered as a commit
+observer on the updater — keeps the result current by consuming the
+structured ΔV events every committed operation emits
+(:mod:`repro.subscribe.delta`).  Per event and per subscription the
+registry picks the cheapest sound action:
+
+- **skip** — no event edge intersects any step's dependency map
+  (:mod:`repro.subscribe.deps`): the cached result is provably current,
+  only the generation tag advances;
+- **suffix re-evaluation** — the earliest affected step is ``k > 0``:
+  contexts ``C_0 .. C_k`` are intact, so only ``steps[k:]`` re-runs
+  from the cached ``C_k`` (:meth:`DagXPathEvaluator.evaluate_from`);
+- **full re-evaluation** — the event is coarse (base-update
+  propagation, rebuilds), step 0 is affected, or no contexts are
+  cached.
+
+Every subscription is generation-tagged with the updater's version
+counter.  :meth:`Subscription.result` compares tags before answering
+and falls back to a full re-evaluation on any mismatch — a missed or
+deferred event (e.g. reading mid-batch) degrades to correct-but-slower,
+never to stale data.  Maintenance runs inside the writer's critical
+section (the service write lock); ``result()`` takes the read side.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import nullcontext
+
+from repro.subscribe.delta import ViewEvent, coalesce
+from repro.subscribe.deps import (
+    QueryProfile,
+    first_affected_step,
+    profile_query,
+)
+from repro.xpath.ast import XPath
+from repro.xpath.parser import parse_xpath
+
+_STAT_KEYS = (
+    "skips",
+    "suffix_refreshes",
+    "full_refreshes",
+    "fallback_refreshes",
+)
+
+
+class Subscription:
+    """One registered XPath with an incrementally maintained result."""
+
+    def __init__(
+        self,
+        sid: int,
+        text: str,
+        path: XPath,
+        profile: QueryProfile,
+        registry: "SubscriptionRegistry",
+    ):
+        self.id = sid
+        self.path = text
+        self.query = path
+        self.profile = profile
+        self.active = True
+        self.stats: dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
+        self._registry = registry
+        self._mutex = threading.Lock()
+        self._generation = -1
+        self._nodes: tuple[int, ...] = ()
+        self._contexts: list[list[int]] | None = None
+        self._context_sets: list[frozenset] | None = None
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def result(self) -> tuple[int, ...]:
+        """The current result set as a sorted tuple of view node ids.
+
+        Equal — after every committed operation — to
+        ``tuple(sorted(service.xpath(self.path).targets))``; stale
+        generations trigger an inline full re-evaluation first.
+        """
+        return self._registry.result_of(self)
+
+    def close(self) -> None:
+        """Stop maintaining this subscription (idempotent)."""
+        self._registry.unsubscribe(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Subscription(#{self.id} {self.path!r} gen={self._generation} "
+            f"|result|={len(self._nodes)})"
+        )
+
+
+class SubscriptionRegistry:
+    """All subscriptions of one view; consumes the commit event stream."""
+
+    def __init__(self, updater, lock=None):
+        self.updater = updater
+        self._lock = lock
+        self._subs: list[Subscription] = []
+        self._members = threading.Lock()
+        self._buffer: list[ViewEvent] = []
+        self._ids = itertools.count(1)
+        self._registered = False
+        self._closed_totals: dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
+        self.events_processed = 0
+        self.events_buffered = 0
+        self.publish_seconds = 0.0
+
+    # -- registration ------------------------------------------------------------
+
+    def subscribe(self, path: str | XPath) -> Subscription:
+        """Register ``path`` and evaluate it eagerly.
+
+        Callers must hold the writer side of the service lock (the
+        :class:`~repro.service.facade.ViewService` façade does) so
+        registration is serialized against commits.
+        """
+        parsed = parse_xpath(path) if isinstance(path, str) else path
+        store = self.updater.store
+        root_label = (
+            store.type_of(store.root_id)
+            if store.root_id is not None
+            else None
+        )
+        sub = Subscription(
+            next(self._ids), str(parsed) or ".", parsed,
+            profile_query(parsed, root_label), self,
+        )
+        with sub._mutex:
+            self._refresh_full(sub)
+            sub._generation = self.updater._version
+        with self._members:
+            if not self._registered:
+                # Lazy observer hookup: commits only pay the event
+                # construction cost once someone actually subscribes.
+                self.updater.add_observer(self.handle)
+                self._registered = True
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._members:
+            sub.active = False
+            if sub in self._subs:
+                self._subs.remove(sub)
+                # Keep the registry-level counters monotonic: fold the
+                # closed subscription's tallies into the totals.
+                for key in _STAT_KEYS:
+                    self._closed_totals[key] += sub.stats[key]
+            if not self._subs and self._registered:
+                # Last subscription gone: unhook so commits stop paying
+                # the event-construction cost.
+                self.updater.remove_observer(self.handle)
+                self._registered = False
+                self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def __iter__(self):
+        return iter(list(self._subs))
+
+    # -- the maintenance path (writer's critical section) --------------------------
+
+    def handle(self, event: ViewEvent) -> None:
+        """Commit observer: maintain every subscription against ``event``.
+
+        Deferred (mid-batch) events are buffered and coalesced with the
+        session's flush event — the store's edges are already current
+        mid-batch, but ``M`` is not, so refreshing once per batch is
+        both cheaper and reads the repaired index.
+        """
+        if event.deferred:
+            if self._subs:
+                self._buffer.append(event)
+                self.events_buffered += 1
+            return
+        if self._buffer:
+            self._buffer.append(event)
+            event = coalesce(self._buffer)
+            self._buffer.clear()
+        if not self._subs:
+            return
+        start = time.perf_counter()
+        for sub in list(self._subs):
+            with sub._mutex:
+                self._apply_event(sub, event)
+        self.publish_seconds += time.perf_counter() - start
+        self.events_processed += 1
+
+    def _apply_event(self, sub: Subscription, event: ViewEvent) -> None:
+        k = first_affected_step(sub.profile, event, sub._context_sets)
+        if k is None:
+            sub.stats["skips"] += 1
+        elif k == 0 or sub._contexts is None or len(sub._contexts) <= k:
+            # (coarse events arrive as k == 0.)
+            self._refresh_full(sub)
+            sub.stats["full_refreshes"] += 1
+        else:
+            self._refresh_suffix(sub, k)
+            sub.stats["suffix_refreshes"] += 1
+        sub._generation = event.generation
+
+    def _refresh_full(self, sub: Subscription) -> None:
+        result = self.updater.evaluator().evaluate_from(sub.query)
+        sub._contexts = [list(c) for c in result.contexts]
+        sub._context_sets = [frozenset(c) for c in sub._contexts]
+        sub._nodes = tuple(sorted(result.targets))
+
+    def _refresh_suffix(self, sub: Subscription, k: int) -> None:
+        assert sub._contexts is not None and len(sub._contexts) > k
+        suffix = XPath(sub.query.steps[k:])
+        result = self.updater.evaluator().evaluate_from(
+            suffix, start=list(sub._contexts[k])
+        )
+        sub._contexts = [
+            *sub._contexts[: k + 1],
+            *[list(c) for c in result.contexts[1:]],
+        ]
+        assert sub._context_sets is not None
+        sub._context_sets = [
+            *sub._context_sets[: k + 1],
+            *[frozenset(c) for c in result.contexts[1:]],
+        ]
+        sub._nodes = tuple(sorted(result.targets))
+
+    # -- the read path --------------------------------------------------------------
+
+    def _read(self):
+        return self._lock.read() if self._lock is not None else nullcontext()
+
+    def result_of(self, sub: Subscription) -> tuple[int, ...]:
+        with self._read():
+            with sub._mutex:
+                if sub._generation != self.updater._version:
+                    # Generation-tagged fallback: a missed/deferred event
+                    # (mid-batch reads, observer-less direct use) costs a
+                    # full re-evaluation, never staleness.
+                    self._refresh_full(sub)
+                    sub._generation = self.updater._version
+                    sub.stats["fallback_refreshes"] += 1
+                return sub._nodes
+
+    # -- statistics ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        totals = dict(self._closed_totals)
+        for sub in list(self._subs):
+            for key in _STAT_KEYS:
+                totals[key] += sub.stats[key]
+        return {
+            "subscriptions": len(self._subs),
+            "events_processed": self.events_processed,
+            "events_buffered": self.events_buffered,
+            "publish_seconds": self.publish_seconds,
+            **totals,
+        }

@@ -21,6 +21,13 @@ class GCResult:
 
     removed_nodes: list[int] = field(default_factory=list)
     removed_edges: list[tuple[int, int]] = field(default_factory=list)
+    removed_info: dict[int, tuple[str, str | None]] = field(
+        default_factory=dict
+    )
+    """(type, PCDATA value) per removed node, captured before removal —
+    the same shape :class:`~repro.core.maintenance.DeleteMaintenance`
+    records for subscription events, so callers driving this standalone
+    GC pass can still describe nodes the store has already dropped."""
 
     @property
     def removed_node_count(self) -> int:
@@ -36,6 +43,8 @@ def collect_unreachable(store: ViewStore) -> GCResult:
     result = GCResult()
     reachable = store.reachable_from_root()
     doomed = [node for node in store.nodes() if node not in reachable]
+    for node in doomed:
+        result.removed_info[node] = (store.type_of(node), store.value_of(node))
     # Remove edges first (both among doomed nodes and from doomed nodes
     # into surviving shared subtrees), then the isolated nodes.
     for node in doomed:

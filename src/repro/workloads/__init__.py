@@ -18,7 +18,11 @@ from __future__ import annotations
 from repro.errors import ReproError
 from repro.workloads.bom import build_bom
 from repro.workloads.chains import build_chain
-from repro.workloads.queries import make_workload
+from repro.workloads.queries import (
+    REGISTRAR_QUERIES,
+    make_query_set,
+    make_workload,
+)
 from repro.workloads.registrar import build_registrar, registrar_atg
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
 
@@ -62,5 +66,7 @@ __all__ = [
     "build_bom",
     "build_chain",
     "make_workload",
+    "make_query_set",
+    "REGISTRAR_QUERIES",
     "named_workload",
 ]

@@ -19,6 +19,14 @@ the selected ``cnode`` for another one in a single composite operation.
 Workloads are emitted as the typed operations of :mod:`repro.ops`
 (``InsertOp`` / ``DeleteOp`` / ``ReplaceOp``), so a driver feeds them
 straight into ``service.apply(op)`` — no per-kind dispatch.
+
+:func:`make_query_set` / :data:`REGISTRAR_QUERIES` provide the *read*
+side: diverse XPath sets over the same datasets, used as standing
+queries by the subscription engine
+(:meth:`repro.service.ViewService.subscribe`) and its benchmarks —
+mostly value-anchored ``/``-paths whose per-step dependencies let the
+engine skip unrelated ops, plus a few ``//`` paths that always pay a
+re-evaluation.
 """
 
 from __future__ import annotations
@@ -132,3 +140,59 @@ def make_workload(
         else:
             ops.append(ReplaceOp(path, element="cnode", sem=sem))
     return ops
+
+
+#: Standing queries over the registrar view (Example 1): value-anchored
+#: child paths plus two ``//`` paths, the shapes the subscription
+#: engine's skip / suffix / full decisions distinguish.
+REGISTRAR_QUERIES = (
+    "course[cno=CS650]/prereq/course",
+    "course[cno=CS650]/prereq/course[cno=CS320]",
+    "course[cno=CS320]/prereq/course",
+    "course[cno=CS240]",
+    "course[cno=CS650]/takenBy/student",
+    "course[cno=CS240]/takenBy/student[ssn=S02]",
+    "course[prereq/course]/takenBy",
+    "//course",
+    "//student[ssn=S02]",
+)
+
+
+def make_query_set(
+    dataset: SyntheticDataset,
+    count: int = 12,
+    seed: int = 1,
+    descendant_fraction: float = 0.25,
+) -> list[str]:
+    """``count`` standing XPath queries over the synthetic dataset.
+
+    Mirrors the W1/W2/W3 path shapes: roughly ``descendant_fraction``
+    of the queries are W1-style ``//`` paths (never prunable — every
+    structural change forces re-evaluation), the rest are W2/W3-style
+    anchored ``/`` paths over sampled (parent, child) key pairs, whose
+    value anchors make most unrelated updates skippable.
+    """
+    rng = random.Random(seed * 7919 + 11)
+    pc_pairs = _parent_child_pairs(dataset, rng, count * 2)
+    desc_pairs = _descendant_pairs(dataset, rng, count)
+    queries: list[str] = []
+    want_desc = max(1, int(count * descendant_fraction)) if count else 0
+    for a, b in desc_pairs[:want_desc]:
+        queries.append(f"//cnode[key={a}]//cnode[key={b}]")
+    index = 0
+    while len(queries) < count and index < len(pc_pairs):
+        a, b = pc_pairs[index]
+        index += 1
+        shape = index % 3
+        if shape == 0:
+            queries.append(f"cnode[key={a}]/sub/cnode[key={b}]")
+        elif shape == 1:
+            queries.append(f"cnode[key={a}]/sub/cnode")
+        else:
+            queries.append(
+                f"cnode[key={a} and sub/cnode]/sub/cnode[key={b}]"
+            )
+    while len(queries) < count:  # tiny datasets: pad with anchored paths
+        key = rng.choice(sorted(dataset.passing))
+        queries.append(f"cnode[key={key}]/sub/cnode")
+    return queries

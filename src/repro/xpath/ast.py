@@ -81,6 +81,20 @@ class ExistsPath:
         return str(self.path)
 
 
+def quote_literal(value: str) -> str:
+    """Quote a string constant so the parser round-trips it exactly.
+
+    Prefers double quotes; a value containing ``"`` switches to single
+    quotes, and a value containing both styles doubles the delimiter
+    (standard XPath escaping).
+    """
+    if '"' not in value:
+        return f'"{value}"'
+    if "'" not in value:
+        return f"'{value}'"
+    return '"' + value.replace('"', '""') + '"'
+
+
 @dataclass(frozen=True)
 class ValueEq:
     """Value filter ``p = "s"``: some node reached via p has string value s.
@@ -93,7 +107,7 @@ class ValueEq:
 
     def __str__(self) -> str:
         prefix = str(self.path) if self.path.steps else "."
-        return f'{prefix}="{self.value}"'
+        return f"{prefix}={quote_literal(self.value)}"
 
 
 @dataclass(frozen=True)

@@ -9,8 +9,11 @@ Accepted syntax (examples from the paper)::
 
 Constants on the right of ``=`` may be quoted (single or double) or bare
 alphanumeric tokens (the paper writes ``cno=CS650``); both denote string
-values.  ``and``/``or``/``not(...)`` build Boolean filters; ``label()=A``
-tests the context node's type.
+values.  Quoted literals follow standard XPath string semantics: a
+single-quoted literal may contain ``"`` and vice versa, and the
+delimiting quote itself may appear doubled — 'it''s' denotes the string
+``it's``.  ``and``/``or``/``not(...)`` build Boolean filters;
+``label()=A`` tests the context node's type.
 """
 
 from __future__ import annotations
@@ -47,7 +50,7 @@ _TOKEN_RE = re.compile(
   | (?P<eq>=)
   | (?P<star>\*)
   | (?P<dot>\.)
-  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<string>"(?:[^"]|"")*"|'(?:[^']|'')*')
   | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
   | (?P<number>\d+(?:\.\d+)?)
   | (?P<ws>\s+)
@@ -269,7 +272,11 @@ def _parse_constant(tokens: _Tokens) -> str:
     kind, value = item
     if kind == "string":
         tokens.next()
-        return value[1:-1]
+        # Standard XPath string semantics: the delimiting quote may
+        # appear inside the literal doubled ("" inside "..." and ''
+        # inside '...'); the other quote style needs no escape.
+        quote = value[0]
+        return value[1:-1].replace(quote + quote, quote)
     if kind in ("name", "number"):
         tokens.next()
         return value

@@ -72,6 +72,63 @@ class TestRun:
         assert "1 accepted" in capsys.readouterr().out
 
 
+MIXED_LINES = [
+    '{"op": "delete", "path": "course[cno=CS650]/prereq/course[cno=CS320]"}',
+    "this is not json",
+    '{"op": "insert", "path": ".", "element": "course", '
+    '"sem": ["CS700", "Theory"]}',
+]
+
+
+class TestMalformedLines:
+    """Regression: a malformed line mid-stream used to abort the run
+    without the failing line number, leaving the caller unable to tell
+    which earlier ops had already been applied."""
+
+    def test_stop_on_error_reports_line_and_partial_summary(self, capsys):
+        code = run(iter(MIXED_LINES), workload="registrar")
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "bad input: line 2:" in captured.err
+        # The op before the bad line stayed applied and is summarized.
+        assert "1 op(s) applied" in captured.out
+        assert "stopped at line 2" in captured.out
+        assert "consistency OK" in captured.out
+
+    def test_keep_going_processes_the_rest(self, capsys):
+        code = run(iter(MIXED_LINES), workload="registrar",
+                   stop_on_error=False)
+        captured = capsys.readouterr()
+        assert code == 2  # still nonzero: input was malformed
+        assert "bad input: line 2:" in captured.err
+        assert "2 op(s) applied" in captured.out
+        assert "1 malformed line(s) skipped" in captured.out
+
+    def test_line_numbers_count_comments_and_blanks(self, capsys):
+        lines = ["# comment", "", MIXED_LINES[0], "{broken"]
+        code = run(iter(lines), workload="registrar")
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "bad input: line 4:" in captured.err
+
+    def test_clean_stream_still_exits_zero(self, capsys):
+        assert run(iter(OPS), workload="registrar") == 0
+
+    def test_main_flags(self, tmp_path, capsys):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text("\n".join(MIXED_LINES) + "\n")
+        assert main([str(path), "--stop-on-error"]) == 2
+        assert "stopped at line 2" in capsys.readouterr().out
+        assert main([str(path), "--keep-going"]) == 2
+        assert "2 op(s) applied" in capsys.readouterr().out
+
+    def test_flags_are_mutually_exclusive(self, tmp_path, capsys):
+        path = tmp_path / "ops.jsonl"
+        path.write_text(MIXED_LINES[0] + "\n")
+        with pytest.raises(SystemExit):
+            main([str(path), "--stop-on-error", "--keep-going"])
+
+
 class TestMain:
     def test_file_input(self, ops_file, capsys):
         assert main([str(ops_file), "--workload", "registrar"]) == 0

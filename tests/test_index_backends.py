@@ -222,6 +222,38 @@ def test_random_interleavings_agree(seed):
     assert a.equals(b)  # the original is untouched by the clone edit
 
 
+@pytest.mark.parametrize("seed", [0, 1])
+def test_dense_id_reuse_after_drop_agrees(seed):
+    """Dense-id churn: drop a block of node ids, then rebuild rows for
+    the *same* ids (the bitset backend maps them onto the same machine
+    words) — stale bits must not leak into the reused rows."""
+    rng = random.Random(100 + seed)
+    nodes = list(range(24))
+    ops = []
+    for node in nodes:  # a dense triangular seed matrix
+        ops.append(("set_ancestors", node, set(range(node))))
+    recycled = rng.sample(nodes, 10)
+    for node in recycled:
+        ops.append(("drop_node", node))
+    for node in recycled:  # same ids, fresh (different) rows
+        ancestors = set(rng.sample(nodes, rng.randrange(0, 12))) - {node}
+        ops.append(("set_ancestors", node, ancestors))
+        for _ in range(3):
+            ops.append(("insert", rng.choice(nodes), node))
+            ops.append(("remove", rng.choice(nodes), node))
+
+    indexes = {name: make_index(name) for name in ALL_BACKENDS}
+    for op in ops:
+        for index in indexes.values():
+            getattr(index, op[0])(*op[1:])
+    expected = _reference_pairs(ops)
+    for name, index in indexes.items():
+        assert index.check_invariants() == [], name
+        assert set(index.pairs()) == expected, name
+    a, b = (indexes[n] for n in ALL_BACKENDS)
+    assert a.equals(b)
+
+
 # ---------------------------------------------------------------------------
 # Algorithm Reach: backends agree with the oracle on real stores
 # ---------------------------------------------------------------------------

@@ -130,6 +130,22 @@ class TestDecodeErrors:
         lines = ["", "# heading", '{"op": "delete", "path": "x"}', "   "]
         assert list(ops_from_jsonl(lines)) == [DeleteOp("x")]
 
+    def test_jsonl_on_error_keep_going_and_stop(self):
+        lines = [
+            '{"op": "delete", "path": "x"}',
+            "{bad",
+            '{"op": "delete", "path": "y"}',
+        ]
+        seen: list[int] = []
+        decoded = list(ops_from_jsonl(lines, on_error=lambda n, e: (
+            seen.append(n) or True
+        )))
+        assert seen == [2]
+        assert decoded == [DeleteOp("x"), DeleteOp("y")]
+        # Returning false stops cleanly instead of raising.
+        decoded = list(ops_from_jsonl(lines, on_error=lambda n, e: False))
+        assert decoded == [DeleteOp("x")]
+
 
 class TestDeltaBridge:
     def test_from_delta_to_delta_round_trip(self):

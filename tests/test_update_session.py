@@ -201,3 +201,56 @@ def test_verify_each_update_defers_to_flush():
             "course[cno='CS650']/prereq", "course", ("CS905", "Verified")
         ))
     assert updater.check_consistency() == []
+
+
+def _interleaved_batch_then_undo(backend):
+    """One batch interleaving delete+insert per anchor, then undo all.
+
+    Guards dense-id reuse in the bitset rows: a delete frees node ids
+    mid-batch, the following insert re-interns (or allocates past)
+    them, and the undo resurrects collected subtrees — any stale row
+    aliasing shows up as a cross-backend M divergence.
+    """
+    from repro.relview.insert import reset_fresh_counter
+
+    reset_fresh_counter()
+    dataset, updater = _synthetic_updater(n_c=70, seed=11,
+                                          index_backend=backend)
+    deletes = make_workload(dataset, "delete", "W2", count=3)
+    inserts = make_workload(
+        dataset, "insert", "W2", count=3, seed=2, new_key_fraction=0.0
+    )
+    outcomes = []
+    with updater.batch() as session:
+        for delete_op, insert_op in zip(deletes, inserts):
+            outcomes.append(updater.apply_op(delete_op))
+            outcomes.append(updater.apply_op(insert_op))
+    assert session.report is not None
+    assert session.report.maintenance_passes == 1
+    accepted = [o for o in outcomes if o.accepted]
+    assert len(accepted) >= 2, "workload must commit interleaved ops"
+    for outcome in reversed(accepted):
+        if outcome.delta_r is not None and len(outcome.delta_r.ops):
+            updater.undo(outcome)
+    return updater, outcomes
+
+
+def test_interleaved_batch_then_undo_backends_byte_identical():
+    """Acceptance: interleaved delete+insert inside one session followed
+    by undo leaves `sets` and `bitset` in `equals()`-identical states."""
+    runs = {b: _interleaved_batch_then_undo(b) for b in ALL_BACKENDS}
+    updaters = [u for u, _ in runs.values()]
+    outcome_lists = [o for _, o in runs.values()]
+    for other in outcome_lists[1:]:
+        assert [o.accepted for o in other] == [
+            o.accepted for o in outcome_lists[0]
+        ]
+        assert [o.targets for o in other] == [
+            o.targets for o in outcome_lists[0]
+        ]
+    reference = updaters[0]
+    for updater in updaters:
+        assert updater.check_consistency() == []
+        assert updater.reach.check_invariants() == []
+        assert updater.reach.equals(reference.reach)
+        assert list(updater.topo) == list(reference.topo)

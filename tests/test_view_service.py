@@ -12,6 +12,7 @@ The acceptance contract of the service layer:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -516,6 +517,93 @@ class TestLegacyShims:
                 code,
                 {"__name__": "repro._unmigrated_caller", "service": service},
             )
+
+
+class TestReadWriteUpgrade:
+    """Regression: a reader calling a write API used to deadlock forever
+    in ``acquire_write`` (the writer waits for readers — including the
+    upgrading thread itself — to drain).  The lock now detects the
+    upgrade attempt and raises."""
+
+    def test_raw_lock_upgrade_raises(self):
+        from repro.service.rwlock import RWLock
+
+        lock = RWLock()
+        lock.acquire_read()
+        try:
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+        finally:
+            lock.release_read()
+        # The failed upgrade leaves the lock fully usable.
+        lock.acquire_write()
+        lock.release_write()
+        lock.acquire_read()
+        lock.release_read()
+
+    def test_apply_inside_read_raises_instead_of_hanging(self):
+        service = registrar_service()
+        with service._lock.read():
+            with pytest.raises(RuntimeError, match="read→write upgrade"):
+                service.apply(REGISTRAR_OPS[0])
+        # ...and the write path works once the read lock is released.
+        assert service.apply(REGISTRAR_OPS[0]).accepted
+
+    def test_plan_inside_read_raises(self):
+        service = registrar_service()
+        with service._lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                service.plan(REGISTRAR_OPS[1])
+
+    def test_upgrade_error_from_reader_thread(self):
+        """The deadlock scenario end to end: a reader thread that turns
+        around and writes gets an exception, not a hang."""
+        service = registrar_service()
+        failures: list[BaseException] = []
+
+        def reader_turned_writer():
+            try:
+                with service._lock.read():
+                    service.apply(REGISTRAR_OPS[0])
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=reader_turned_writer)
+        t.start()
+        t.join(timeout=10)
+        assert not t.is_alive(), "reader thread deadlocked"
+        assert len(failures) == 1 and "upgrade" in str(failures[0])
+
+    def test_nested_read_does_not_deadlock_behind_waiting_writer(self):
+        """Regression: a thread re-entering the read side while a writer
+        queued used to deadlock silently (the writer waits on readers,
+        the nested read waits on the writer)."""
+        from repro.service.rwlock import RWLock
+
+        lock = RWLock()
+        lock.acquire_read()
+        writer_started = threading.Event()
+
+        def writer():
+            writer_started.set()
+            lock.acquire_write()
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        writer_started.wait()
+        time.sleep(0.05)  # let the writer block in acquire_write
+        lock.acquire_read()  # nested read: must be granted immediately
+        lock.release_read()
+        lock.release_read()
+        t.join(timeout=10)
+        assert not t.is_alive(), "writer never acquired after reads drained"
+
+    def test_writer_may_still_read_reentrantly(self):
+        service = registrar_service(side_effects="propagate")
+        expected = len(service.xpath("//course").targets)
+        with service.batch():
+            assert len(service.xpath("//course").targets) == expected
 
 
 class TestConcurrency:

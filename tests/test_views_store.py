@@ -144,6 +144,21 @@ class TestGC:
         # Still-reachable nodes survive.
         assert store.lookup("course", ("CS320", "Databases")) is not None
 
+    def test_removed_info_describes_collected_nodes(self, store):
+        cs240 = store.lookup("course", ("CS240", "Data Structures"))
+        for parent in list(store.parents_of(cs240)):
+            store.remove_edge(parent, cs240)
+        result = collect_unreachable(store)
+        # Every removed node is described (type + PCDATA value) even
+        # though the store no longer holds it.
+        assert set(result.removed_info) == set(result.removed_nodes)
+        assert result.removed_info[cs240][0] == "course"
+        pcdata = [
+            value for _, (kind, value) in result.removed_info.items()
+            if kind == "cno"
+        ]
+        assert "CS240" in pcdata
+
     def test_gc_keeps_shared_nodes(self, store):
         # Cut CS320 from root only; it stays reachable via CS650's prereq.
         root = store.root_id

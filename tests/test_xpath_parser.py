@@ -153,6 +153,58 @@ class TestFilters:
         assert isinstance(path.steps[1].filter, FAnd)
 
 
+class TestQuotedLiterals:
+    """Regression: ``_parse_constant`` stripped the outer quote pair with
+    no escape handling, so constants containing quotes (or the empty
+    string round-tripped through ``str()``) were unrepresentable."""
+
+    def test_double_quoted_may_contain_single_quote(self):
+        path = parse_xpath('student[name="O\'Brien"]')
+        assert path.steps[1].filter.value == "O'Brien"
+
+    def test_single_quoted_may_contain_double_quote(self):
+        path = parse_xpath("student[name='say \"hi\"']")
+        assert path.steps[1].filter.value == 'say "hi"'
+
+    def test_doubled_quote_escapes(self):
+        assert (
+            parse_xpath('a[x="he said ""hi"""]').steps[1].filter.value
+            == 'he said "hi"'
+        )
+        assert parse_xpath("a[x='it''s']").steps[1].filter.value == "it's"
+
+    def test_empty_string_constant(self):
+        assert parse_xpath('a[x=""]').steps[1].filter.value == ""
+        assert parse_xpath("a[x='']").steps[1].filter.value == ""
+
+    def test_adjacent_strings_stay_separate_tokens(self):
+        # Greedy matching must not swallow two literals into one.
+        path = parse_xpath('a[x="1" and y="2"]')
+        filters = path.steps[1].filter.parts
+        assert [f.value for f in filters] == ["1", "2"]
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "plain",
+            "",
+            "it's",
+            'say "hi"',
+            "both 'and' \"q\"",
+            'only ""doubles""',
+        ],
+    )
+    def test_value_eq_serialization_round_trips(self, value):
+        original = XPath(
+            (LabelStep("a"), FilterStep(ValueEq(XPath(()), value)))
+        )
+        assert parse_xpath(str(original)) == original
+
+    def test_unterminated_string_is_a_syntax_error(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath('a[x="oops]')
+
+
 class TestErrors:
     @pytest.mark.parametrize(
         "bad",
