@@ -23,6 +23,12 @@ Quickstart::
     plan = service.plan(InsertOp(".", "course", ("CS700", "Theory")))
     print(plan.delta_r)
     plan.commit()
+
+    # Live results and the public event stream:
+    sub = service.subscribe("course[cno=CS650]/prereq/course")
+    sub.result(); sub.delta()          # full set / (added, removed) per commit
+    feed = service.changefeed()        # replayable JSON events
+                                       # (see docs/event-schema.md)
 """
 
 from repro.atg import ATG, ProjectionRule, QueryRule, publish_store, publish_tree
@@ -49,7 +55,14 @@ from repro.ops import (
     ops_from_jsonl,
 )
 from repro.service import RWLock, ViewConfig, ViewService, open_view
-from repro.subscribe import Subscription, SubscriptionRegistry
+from repro.subscribe import (
+    SCHEMA_VERSION,
+    EdgeRecord,
+    Subscription,
+    SubscriptionRegistry,
+    ViewEvent,
+)
+from repro.changefeed import ChangefeedConsumer, ChangefeedHub, ReplayBuffer
 from repro.dtd import DTD, parse_dtd
 from repro.index import (
     BitsetReachabilityIndex,
@@ -59,6 +72,9 @@ from repro.index import (
     make_index,
 )
 from repro.errors import (
+    ChangefeedError,
+    EventDecodeError,
+    ReplayGapError,
     ReproError,
     SideEffectError,
     UpdateRejectedError,
@@ -73,7 +89,7 @@ from repro.relational import (
 from repro.views import ViewStore, build_registry
 from repro.xpath import parse_xpath
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "ATG",
@@ -105,6 +121,15 @@ __all__ = [
     "RWLock",
     "Subscription",
     "SubscriptionRegistry",
+    "SCHEMA_VERSION",
+    "ViewEvent",
+    "EdgeRecord",
+    "ChangefeedConsumer",
+    "ChangefeedHub",
+    "ReplayBuffer",
+    "ChangefeedError",
+    "EventDecodeError",
+    "ReplayGapError",
     "ReachabilityIndex",
     "SetReachabilityIndex",
     "BitsetReachabilityIndex",

@@ -37,6 +37,7 @@ from repro.core.topo import TopoOrder
 from repro.errors import ReproError
 from repro.index import ReachabilityIndex
 from repro.relational.database import Database, RelationalDelta
+from repro.subscribe.delta import EdgeRecord, edge_records_from_delta
 from repro.views.registry import EdgeView, EdgeViewRegistry
 from repro.views.store import ViewStore
 
@@ -52,6 +53,17 @@ class PropagationReport:
     unreachable_gains: int = 0
     """Gained view rows whose parents never materialized (not published)."""
 
+    edge_records: list[EdgeRecord] = field(default_factory=list)
+    """Every edge change, typed and valued
+    (:class:`~repro.subscribe.delta.EdgeRecord`): the loss removals, the
+    gain attachments, and the closing GC pass.  A complete description
+    of the store mutation — base updates can therefore emit fine-grained
+    events, extending the subscription engine's skip/suffix pruning to
+    the reverse pipeline instead of forcing full re-evaluations.  Only
+    populated when the propagation ran with ``want_records=True`` (the
+    updater passes it iff commit observers are attached, so
+    observer-less services pay nothing)."""
+
 
 def propagate_base_update(
     atg: ATG,
@@ -61,8 +73,14 @@ def propagate_base_update(
     topo: TopoOrder,
     reach: ReachabilityIndex,
     delta_r: RelationalDelta,
+    want_records: bool = False,
 ) -> PropagationReport:
-    """Apply ``ΔR`` to ``db`` and synchronize the view incrementally."""
+    """Apply ``ΔR`` to ``db`` and synchronize the view incrementally.
+
+    ``want_records=True`` additionally captures typed
+    :attr:`PropagationReport.edge_records` for event consumers; off by
+    default so observer-less updaters pay no per-edge construction cost.
+    """
     report = PropagationReport()
     if not delta_r:
         return report
@@ -96,6 +114,17 @@ def propagate_base_update(
                 if store.remove_edge(parent, child):
                     report.edges_removed.append((parent, child))
                     removed_children.append(child)
+                    if want_records:
+                        # The child stays interned until the closing GC
+                        # pass, so its type/value are still resolvable.
+                        report.edge_records.append(EdgeRecord(
+                            kind="delete",
+                            parent_type=store.type_of(parent),
+                            child_type=store.type_of(child),
+                            parent=parent,
+                            child=child,
+                            child_value=store.value_of(child),
+                        ))
 
     # -- 3. gains: attach under existing parents, to a fixpoint ----------------
     pending: list[tuple[EdgeView, tuple, tuple]] = []
@@ -120,11 +149,30 @@ def propagate_base_update(
             for ptype, parent, ctype, child in subtree.edges:
                 if store.add_edge(parent, child):
                     report.edges_added.append((parent, child))
+                    if want_records:
+                        report.edge_records.append(EdgeRecord(
+                            kind="insert",
+                            parent_type=ptype,
+                            child_type=ctype,
+                            parent=parent,
+                            child=child,
+                            child_value=store.value_of(child),
+                        ))
             attach_targets = []
+            root_type = store.type_of(subtree.root)
             for parent in parents:
                 if store.add_edge(parent, subtree.root):
                     report.edges_added.append((parent, subtree.root))
                     attach_targets.append(parent)
+                    if want_records:
+                        report.edge_records.append(EdgeRecord(
+                            kind="insert",
+                            parent_type=store.type_of(parent),
+                            child_type=root_type,
+                            parent=parent,
+                            child=subtree.root,
+                            child_value=store.value_of(subtree.root),
+                        ))
             if attach_targets or subtree.new_nodes:
                 maintain_insert(
                     store, topo, reach, subtree, attach_targets
@@ -136,6 +184,10 @@ def propagate_base_update(
     if removed_children:
         gc = maintain_delete(store, topo, reach, sorted(set(removed_children)))
         report.nodes_collected = len(gc.removed_nodes)
+        if want_records:
+            report.edge_records.extend(
+                edge_records_from_delta(store, gc.gc_delta, gc.removed_info)
+            )
     return report
 
 

@@ -1,0 +1,189 @@
+"""The consumer handle returned by ``service.changefeed()``.
+
+A :class:`ChangefeedConsumer` operates in exactly one of two modes,
+chosen at creation time:
+
+- **callback mode** (``changefeed(on_event=fn)``) — ``fn(event)`` runs
+  synchronously for every published event, *inside the writer's
+  critical section*.  The callback sees the view, the subscription
+  registry and the event in a mutually consistent state, but it must be
+  fast and must not write back into the service — a nested
+  ``apply``/``plan``/``apply_base_update`` raises
+  :class:`~repro.errors.PlanError` (the write lock is reentrant, so the
+  nested commit would otherwise publish events out of order
+  mid-delivery).  Replayed events are delivered through the same
+  callback during attach.  A live delivery that *raises* detaches the
+  consumer (the exception lands on :attr:`ChangefeedConsumer.error`)
+  instead of failing the writer's already-committed update.
+- **pull mode** (the default) — events queue on the consumer;
+  :meth:`ChangefeedConsumer.next_event` blocks (with optional timeout),
+  :meth:`ChangefeedConsumer.events` drains without blocking, and
+  iterating the consumer yields events until :meth:`close`.  Pull mode
+  decouples the consumer's pace from the writer entirely: the writer
+  only pays one lock-protected append per event.  Queues are bounded at
+  twice the hub's retention window — a consumer that has fallen further
+  behind than replay could cover is detached (overflow sets
+  :attr:`ChangefeedConsumer.error`; the queued backlog stays drainable)
+  rather than growing without bound.
+
+Either way the consumer tracks :attr:`ChangefeedConsumer.generation` —
+the generation of the last event it has *taken* — which is exactly the
+value to hand back as ``changefeed(since=...)`` after a disconnect.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ChangefeedError
+from repro.subscribe.delta import ViewEvent
+
+
+class ChangefeedConsumer:
+    """One attached consumer of a view's published event stream."""
+
+    def __init__(
+        self, hub, on_event=None, generation: int = 0,
+        max_pending: int = 0,
+    ):
+        self._hub = hub
+        self._callback = on_event
+        self._queue: deque[ViewEvent] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._max_pending = max_pending
+        """Pull-queue bound (0 = unbounded); the hub passes its
+        retention window — beyond it, replay could not cover the
+        backlog either, so the consumer is detached on overflow."""
+        self.generation = generation
+        """Generation of the last event taken (callback mode: delivered);
+        pass as ``since=`` to resume after a disconnect."""
+        self.delivered = 0
+        """Events handed to this consumer (both modes), replay included."""
+        self.error: BaseException | None = None
+        """Why this consumer was force-detached, when it was: a live
+        callback delivery raised (the hub records the exception rather
+        than letting a consumer bug poison the writer's commit path),
+        or a pull queue overflowed its bound."""
+
+    # -- delivery (called by the hub) ---------------------------------------------
+
+    def _deliver(self, event: ViewEvent) -> bool:
+        """Hand one event over; ``False`` means the pull queue
+        overflowed and the consumer detached itself."""
+        if self._callback is not None:
+            if self._closed:
+                return True
+            self.delivered += 1
+            self._callback(event)
+            self.generation = event.generation
+            return True
+        with self._cond:
+            if self._closed:
+                return True
+            if self._max_pending and len(self._queue) >= self._max_pending:
+                self.error = ChangefeedError(
+                    f"pull consumer fell behind: {len(self._queue)} "
+                    f"events pending reached the queue bound of "
+                    f"{self._max_pending} (2x the retention window); "
+                    f"drain the backlog, then reattach with "
+                    f"changefeed(since=<last generation>)"
+                )
+                self._closed = True
+                self._cond.notify_all()
+            else:
+                self.delivered += 1
+                self._queue.append(event)
+                self._cond.notify_all()
+                return True
+        self._hub._discard(self)
+        return False
+
+    # -- the pull contract ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has detached this consumer."""
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        """Queued events not yet taken (always 0 in callback mode)."""
+        with self._cond:
+            return len(self._queue)
+
+    def _require_pull(self, what: str) -> None:
+        if self._callback is not None:
+            raise ChangefeedError(
+                f"{what} is a pull-mode operation; this consumer was "
+                "opened with on_event= and receives events through its "
+                "callback"
+            )
+
+    def next_event(self, timeout: float | None = None) -> ViewEvent | None:
+        """Take the next event, blocking until one arrives.
+
+        Returns ``None`` when ``timeout`` (seconds) elapses with no
+        event, or when the consumer is closed and its queue is drained.
+        """
+        self._require_pull("next_event()")
+        with self._cond:
+            if not self._queue and not self._closed:
+                self._cond.wait_for(
+                    lambda: self._queue or self._closed, timeout=timeout
+                )
+            if not self._queue:
+                return None
+            event = self._queue.popleft()
+            self.generation = event.generation
+            return event
+
+    def events(self) -> list[ViewEvent]:
+        """Drain every queued event without blocking (may be empty)."""
+        self._require_pull("events()")
+        with self._cond:
+            drained = list(self._queue)
+            self._queue.clear()
+            if drained:
+                self.generation = drained[-1].generation
+            return drained
+
+    def __iter__(self):
+        """Yield events as they arrive until the consumer is closed."""
+        self._require_pull("iteration")
+        while True:
+            event = self.next_event()
+            if event is None:
+                return
+            yield event
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the feed (idempotent); wakes blocked pullers.
+
+        Queued events already delivered remain drainable via
+        :meth:`events`; :meth:`next_event` returns ``None`` once the
+        queue is empty.
+        """
+        if self._closed:
+            return
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._hub._discard(self)
+
+    def __enter__(self) -> "ChangefeedConsumer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "callback" if self._callback is not None else "pull"
+        return (
+            f"ChangefeedConsumer({mode} gen={self.generation} "
+            f"delivered={self.delivered}{' closed' if self._closed else ''})"
+        )

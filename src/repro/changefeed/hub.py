@@ -1,0 +1,189 @@
+"""The publisher side of the changefeed: one hub per published view.
+
+The :class:`ChangefeedHub` turns the engine-internal commit observer
+stream (:meth:`repro.core.updater.XMLViewUpdater.add_observer`, no
+stability contract) into the stable public feed:
+
+- it attaches to the updater **once**, on the first
+  :meth:`ChangefeedHub.open`, and stays attached for the life of the
+  service — retention must be continuous for replay to be trustworthy;
+- mid-batch ``deferred`` events are buffered and **coalesced** with the
+  session's flush event, so consumers see exactly one event per
+  committed generation that was observable at rest (the same batch
+  semantics the subscription registry uses);
+- every published event lands in the generation-indexed
+  :class:`~repro.changefeed.buffer.ReplayBuffer` *before* fan-out, so a
+  consumer attached with ``since=`` can never miss an event between its
+  replay and its first live delivery (both happen under the writer's
+  critical section).
+
+Generations are the updater's version counter: strictly increasing,
+not necessarily dense (failed commits bump without publishing; batches
+publish once).  ``open(since=g)`` means "I have processed every event
+with generation ≤ g" — the hub replays the retained events after ``g``
+and raises :class:`~repro.errors.ReplayGapError` when eviction has made
+that impossible.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.changefeed.buffer import ReplayBuffer
+from repro.changefeed.consumer import ChangefeedConsumer
+from repro.errors import ChangefeedError, ReplayGapError
+from repro.subscribe.delta import ViewEvent, coalesce
+
+#: Default number of published events retained for replay.
+DEFAULT_RETENTION = 256
+
+
+class ChangefeedHub:
+    """Publishes one view's ΔV event stream to attached consumers."""
+
+    def __init__(self, updater, retention: int = DEFAULT_RETENTION):
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention}")
+        self.updater = updater
+        self.retention = retention
+        self._members = threading.Lock()
+        self._consumers: list[ChangefeedConsumer] = []
+        self._buffer: ReplayBuffer | None = None
+        self._pending: list[ViewEvent] = []
+        self.events_published = 0
+        """Events published since the hub attached (coalesced batches
+        count once)."""
+        self.callback_errors = 0
+        """Live deliveries that raised; each detached its consumer (the
+        exception is kept on ``consumer.error``)."""
+        self.overflows = 0
+        """Pull consumers detached for falling further behind than the
+        queue bound (twice the retention window)."""
+
+    # -- attachment -----------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        """Whether the hub observes commits (true after the first open)."""
+        return self._buffer is not None
+
+    @property
+    def floor(self) -> int:
+        """Oldest resumable generation (the attach generation until the
+        replay buffer evicts)."""
+        if self._buffer is None:
+            return self.updater._version
+        return self._buffer.floor
+
+    def _ensure_attached(self) -> None:
+        if self._buffer is None:
+            # Attach exactly once and never detach: replay is only
+            # trustworthy while retention is continuous.  Events before
+            # the first open are unobservable (floor = attach version).
+            self._buffer = ReplayBuffer(
+                self.retention, floor=self.updater._version
+            )
+            self.updater.add_observer(self.handle)
+
+    # -- the consumer-facing API -----------------------------------------------------
+
+    def validate_since(self, since: int | None) -> None:
+        """Raise exactly what :meth:`open` would for this resume point.
+
+        Side-effect free, so callers (the façade) can reject a bad
+        ``since`` *before* attach/pin side effects stick — a failed
+        ``changefeed()`` call must not switch on per-commit event
+        construction for the life of the service.
+        """
+        if since is None:
+            return
+        current = self.updater._version
+        if since > current:
+            raise ChangefeedError(
+                f"since={since} is ahead of the feed (current "
+                f"generation is {current})"
+            )
+        if since < self.floor:
+            raise ReplayGapError(since=since, floor=self.floor)
+
+    def open(
+        self, since: int | None = None, on_event=None
+    ) -> ChangefeedConsumer:
+        """Attach a consumer, optionally replaying from ``since``.
+
+        Callers must hold the writer side of the service lock (the
+        :class:`~repro.service.facade.ViewService` façade does), which
+        makes replay-then-live gapless: no commit can interleave between
+        the replayed batch and the consumer joining the fan-out list.
+        """
+        self.validate_since(since)  # before the attach side effect
+        self._ensure_attached()
+        assert self._buffer is not None
+        if since is None:
+            replayed: list[ViewEvent] = []
+            start = self.updater._version
+        else:
+            replayed = self._buffer.since(since)
+            start = since
+        consumer = ChangefeedConsumer(
+            self, on_event, generation=start,
+            # Bound pull queues at twice the retention window: a replay
+            # can legitimately enqueue up to `retention` events at
+            # attach, and a consumer lagging beyond another window on
+            # top of that could no longer resume via replay anyway.
+            max_pending=2 * self.retention,
+        )
+        for event in replayed:
+            consumer._deliver(event)
+        with self._members:
+            self._consumers.append(consumer)
+        return consumer
+
+    def _discard(self, consumer: ChangefeedConsumer) -> None:
+        with self._members:
+            if consumer in self._consumers:
+                self._consumers.remove(consumer)
+
+    def __len__(self) -> int:
+        return len(self._consumers)
+
+    # -- the publish path (writer's critical section) ---------------------------------
+
+    def handle(self, event: ViewEvent) -> None:
+        """Commit observer: coalesce batches, retain, fan out."""
+        if event.deferred:
+            self._pending.append(event)
+            return
+        if self._pending:
+            self._pending.append(event)
+            event = coalesce(self._pending)
+            self._pending.clear()
+        assert self._buffer is not None
+        self._buffer.append(event)
+        self.events_published += 1
+        for consumer in list(self._consumers):
+            try:
+                if not consumer._deliver(event):
+                    self.overflows += 1
+            except Exception as exc:
+                # The commit already happened; letting a consumer bug
+                # propagate here would tell the writer its (successful)
+                # update failed.  Record and detach the consumer instead.
+                consumer.error = exc
+                self.callback_errors += 1
+                consumer.close()
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe hub statistics (for ``service.stats()``)."""
+        return {
+            "attached": self.attached,
+            "consumers": len(self._consumers),
+            "events_published": self.events_published,
+            "callback_errors": self.callback_errors,
+            "overflows": self.overflows,
+            "retention": self.retention,
+            "retained": len(self._buffer) if self._buffer else 0,
+            "floor": self.floor,
+        }

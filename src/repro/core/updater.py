@@ -336,9 +336,12 @@ class UpdatePlan:
         updater._post_verify()
         if notify:
             if self._base_delta is not None:
+                # Propagation reports every edge change typed+valued, so
+                # base updates are fine-grained events too (subscription
+                # pruning extends to the reverse pipeline).
                 updater._emit(ViewEvent(
                     generation=updater._version,
-                    coarse=True,
+                    edges=report.edge_records,
                     reason="base_update",
                 ))
             else:
@@ -433,6 +436,11 @@ class XMLViewUpdater:
         self._in_plan_commit = False
         """True while a plan commit drives ``apply_base_update`` (the
         commit emits the final event itself)."""
+        self._emitting = False
+        """True while commit observers run.  The service write lock is
+        reentrant for its owner, so without this guard an observer
+        (subscription maintenance, a changefeed callback) could start a
+        *nested* commit and publish events out of order mid-fan-out."""
 
     # -- public API -----------------------------------------------------------
 
@@ -457,15 +465,38 @@ class XMLViewUpdater:
 
     def add_observer(self, observer) -> None:
         """Register ``observer(event: ViewEvent)`` to run after every
-        committed mutation, inside the writer's critical section."""
+        committed mutation, inside the writer's critical section.
+
+        Engine-internal hook (no stability contract): observers receive
+        raw events, including ``deferred`` mid-batch ones, in attach
+        order.  External consumers should use the public changefeed —
+        :meth:`repro.service.ViewService.changefeed` — which coalesces
+        batches, supports replay, and freezes the event schema
+        (``docs/event-schema.md``).
+        """
         self._observers.append(observer)
 
     def remove_observer(self, observer) -> None:
+        """Unregister a previously added observer (ValueError if absent)."""
         self._observers.remove(observer)
 
     def _emit(self, event: ViewEvent) -> None:
-        for observer in list(self._observers):
-            observer(event)
+        self._emitting = True
+        try:
+            for observer in list(self._observers):
+                observer(event)
+        finally:
+            self._emitting = False
+
+    def _check_not_emitting(self) -> None:
+        if self._emitting:
+            raise PlanError(
+                "cannot mutate the view from inside a commit observer "
+                "(a subscription or changefeed callback): the write "
+                "lock is reentrant, so the nested commit would publish "
+                "events out of order mid-delivery; hand the work to "
+                "another thread or use a pull-mode changefeed consumer"
+            )
 
     def apply_op(self, op: UpdateOperation) -> UpdateOutcome:
         """Translate and apply one typed update operation.
@@ -492,6 +523,7 @@ class XMLViewUpdater:
             raise TypeError(
                 f"expected an update operation from repro.ops, got {op!r}"
             )
+        self._check_not_emitting()
         if self._outstanding_plan is not None:
             raise PlanError(
                 "another plan is outstanding; commit or abort it first"
@@ -840,6 +872,7 @@ class XMLViewUpdater:
         """
         from repro.atg.incremental import propagate_base_update
 
+        self._check_not_emitting()
         if self._outstanding_plan is not None:
             # Propagation would trip over the plan's pre-interned
             # (edge-less) nodes and corrupt the store irrecoverably.
@@ -860,16 +893,22 @@ class XMLViewUpdater:
             self.topo,
             self.reach,
             delta_r,
+            # Typed per-edge records cost lookups per change; only pay
+            # when someone consumes the resulting event.
+            want_records=bool(self._observers),
         )
         self._version += 1
         self._post_verify()
         if self._observers and not self._in_plan_commit:
-            # Propagation re-derives the view wholesale; describing it
-            # edge-by-edge buys nothing, so subscriptions get a coarse
-            # event (full re-evaluation).  A plan-driven base commit
-            # emits its own event with the final generation instead.
+            # The report types every edge change (losses, gains, GC), so
+            # the event is fine-grained: subscriptions skip or
+            # suffix-restart on base updates exactly as on foreground
+            # ops.  A plan-driven base commit emits its own event with
+            # the final generation instead.
             self._emit(ViewEvent(
-                generation=self._version, coarse=True, reason="base_update"
+                generation=self._version,
+                edges=report.edge_records,
+                reason="base_update",
             ))
         return report
 
@@ -891,6 +930,7 @@ class XMLViewUpdater:
 
     def rebuild(self) -> None:
         """Recompute the store, ``L`` and ``M`` from scratch (baseline)."""
+        self._check_not_emitting()
         self.store = publish_store(self.atg, self.db)
         self.rebuild_structures_only()
 
@@ -902,6 +942,7 @@ class XMLViewUpdater:
         """
         from repro.views.loader import load_structures
 
+        self._check_not_emitting()
         self.topo, self.reach = load_structures(
             self.store, self.index_backend
         )

@@ -89,3 +89,38 @@ class StalePlanError(PlanError):
 
 class CycleError(ReproError):
     """The published view graph contains a cycle (cannot unfold to a tree)."""
+
+
+class ChangefeedError(ReproError):
+    """The changefeed consumer protocol was violated.
+
+    Raised for malformed ``since`` arguments (a generation ahead of the
+    feed), pull calls on a callback-mode consumer, and reads from a
+    closed consumer where an error (rather than an end-of-stream
+    sentinel) is the contract.
+    """
+
+
+class ReplayGapError(ChangefeedError):
+    """A changefeed resume point is older than the retained history.
+
+    The replay buffer is bounded: once events are evicted, a consumer
+    asking to resume from a generation before :attr:`floor` cannot be
+    given a complete stream, and silently skipping events would corrupt
+    any replica folding them.  Catch this and re-bootstrap from a fresh
+    snapshot instead.
+    """
+
+    def __init__(self, since: int, floor: int):
+        super().__init__(
+            f"cannot replay from generation {since}: events up to "
+            f"generation {floor} have been evicted from the replay "
+            f"buffer; re-bootstrap from a snapshot and resume from "
+            f"generation {floor} or later"
+        )
+        self.since = since
+        self.floor = floor
+
+
+class EventDecodeError(ReproError):
+    """A wire-format changefeed event (dict / JSON) was malformed."""

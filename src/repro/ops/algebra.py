@@ -83,6 +83,7 @@ class UpdateOperation:
         return payload
 
     def to_json(self) -> str:
+        """One compact JSON object (inverse of :func:`op_from_json`)."""
         return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
@@ -198,11 +199,13 @@ class BaseUpdateOp(UpdateOperation):
 
     @classmethod
     def from_delta(cls, delta: RelationalDelta) -> "BaseUpdateOp":
+        """Wrap an existing group update ΔR as a typed operation."""
         return cls(
             ops=tuple((op.kind, op.relation, op.row) for op in delta)
         )
 
     def to_delta(self) -> RelationalDelta:
+        """The ΔR this operation denotes (inverse of :meth:`from_delta`)."""
         delta = RelationalDelta()
         for op_kind, relation, row in self.ops:
             if op_kind == "insert":

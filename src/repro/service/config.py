@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import asdict, dataclass, fields
 
+from repro.changefeed.hub import DEFAULT_RETENTION
 from repro.core.updater import SideEffectPolicy
 from repro.errors import ReproError
 from repro.index import resolve_backend
@@ -44,6 +45,17 @@ class ViewConfig:
     seed:
         Seed for the SAT translation RNG; a fixed seed makes two
         identically configured services produce identical ΔR.
+    changefeed_retention:
+        How many published events the changefeed's replay buffer keeps
+        (``service.changefeed(since=...)`` can resume from any retained
+        generation; older resume points raise
+        :class:`~repro.errors.ReplayGapError`).
+    coarse_event_threshold:
+        Cost-based fallback for subscription maintenance: events whose
+        edge list exceeds this are handled as coarse (full
+        re-evaluation) instead of scanned pattern-by-pattern.  ``None``
+        uses the measured default
+        (:data:`repro.subscribe.engine.DEFAULT_COARSE_THRESHOLD`).
     """
 
     index_backend: str = "auto"
@@ -52,6 +64,8 @@ class ViewConfig:
     strict: bool = True
     verify_each_update: bool = False
     seed: int = DEFAULT_SEED
+    changefeed_retention: int = DEFAULT_RETENTION
+    coarse_event_threshold: int | None = None
 
     def __post_init__(self):
         resolve_backend(self.index_backend)  # raises on unknown names
@@ -65,9 +79,23 @@ class ViewConfig:
                 f"sat_solver must be 'auto', 'walksat' or 'dpll', "
                 f"got {self.sat_solver!r}"
             )
+        if self.changefeed_retention < 1:
+            raise ReproError(
+                f"changefeed_retention must be >= 1, "
+                f"got {self.changefeed_retention!r}"
+            )
+        if (
+            self.coarse_event_threshold is not None
+            and self.coarse_event_threshold < 0
+        ):
+            raise ReproError(
+                f"coarse_event_threshold must be >= 0 or None, "
+                f"got {self.coarse_event_threshold!r}"
+            )
 
     @property
     def policy(self) -> SideEffectPolicy:
+        """The ``side_effects`` string as the updater's enum."""
         return (
             SideEffectPolicy.ABORT
             if self.side_effects == "abort"
@@ -75,15 +103,18 @@ class ViewConfig:
         )
 
     def make_rng(self) -> random.Random:
+        """A fresh RNG seeded with :attr:`seed` (one per service)."""
         return random.Random(self.seed)
 
     # -- wire format --------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ViewConfig":
+        """Decode :meth:`to_dict` output; unknown keys raise."""
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(payload) - known)
         if unknown:

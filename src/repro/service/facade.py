@@ -25,6 +25,8 @@ from contextlib import contextmanager
 from typing import Iterable
 
 from repro.atg.model import ATG
+from repro.changefeed.consumer import ChangefeedConsumer
+from repro.changefeed.hub import ChangefeedHub
 from repro.core.dag_eval import EvalResult
 from repro.core.updater import (
     UpdateOutcome,
@@ -70,7 +72,21 @@ class ViewService:
         # The registry attaches itself as a commit observer on first
         # subscribe(), so services that never subscribe pay nothing on
         # the write path.
-        self.subscriptions = SubscriptionRegistry(self.updater, self._lock)
+        self.subscriptions = SubscriptionRegistry(
+            self.updater,
+            self._lock,
+            coarse_threshold=self.config.coarse_event_threshold,
+        )
+        # Likewise the changefeed hub attaches on the first changefeed()
+        # call; from then on it stays attached so replay retention is
+        # continuous.
+        # (The hub does not lock internally: changefeed() holds the
+        # service write lock across attach, and publication runs inside
+        # the writer's critical section.)
+        self.changefeeds = ChangefeedHub(
+            self.updater,
+            retention=self.config.changefeed_retention,
+        )
 
     # -- write path ---------------------------------------------------------------
 
@@ -158,6 +174,50 @@ class ViewService:
         with self._lock.write():
             return self.subscriptions.subscribe(path)
 
+    # -- changefeed ----------------------------------------------------------------
+
+    def changefeed(
+        self, since: int | None = None, on_event=None
+    ) -> ChangefeedConsumer:
+        """Attach a consumer to this view's published event stream.
+
+        The stable, versioned successor of ``updater.add_observer``: one
+        JSON-serializable :class:`~repro.subscribe.delta.ViewEvent` per
+        committed generation observable at rest (batches arrive as one
+        coalesced event), specified in ``docs/event-schema.md``.
+
+        ``since=g`` resumes after generation ``g``: retained events are
+        replayed in order before any live delivery, gaplessly (attach
+        holds the write lock).  A resume point older than the retention
+        window raises :class:`~repro.errors.ReplayGapError`; one ahead
+        of the feed raises :class:`~repro.errors.ChangefeedError`.
+        ``since=None`` starts from now.  Events before the service's
+        *first* ``changefeed()`` call are not retained — open the feed
+        early (e.g. right after :func:`open_view`) if you need replay
+        from generation 0.
+
+        ``on_event=fn`` selects callback mode: ``fn(event)`` runs inside
+        the writer's critical section, after subscription maintenance
+        (so ``sub.result()``/``sub.delta()`` read consistently with the
+        event).  Writing back into the service from the callback raises
+        :class:`~repro.errors.PlanError`; a callback that raises is
+        detached (``consumer.error``) rather than failing the commit.
+        Without ``on_event`` the returned consumer is a pull handle:
+        iterate it, or call ``next_event(timeout=...)`` / ``events()``;
+        ``close()`` detaches.  Pull queues are bounded at twice the
+        retention window — a consumer that falls further behind than
+        replay could cover is detached with the backlog kept drainable
+        (``consumer.error`` explains how to reattach).
+        """
+        with self._lock.write():
+            # Reject a bad resume point before any side effect sticks,
+            # then pin the registry ahead of the hub in the observer
+            # list so changefeed callbacks always see post-maintenance
+            # subscription state.
+            self.changefeeds.validate_since(since)
+            self.subscriptions.ensure_registered(pin=True)
+            return self.changefeeds.open(since=since, on_event=on_event)
+
     # -- read path ----------------------------------------------------------------
 
     def xpath(self, path: str | XPath) -> EvalResult:
@@ -174,6 +234,10 @@ class ViewService:
             return self.updater.xml_tree()
 
     def check_consistency(self) -> list[str]:
+        """Verify state against a fresh republish; [] means consistent.
+
+        O(|V|)-ish — intended for tests, not per-update production use.
+        """
         with self._lock.read():
             return self.updater.check_consistency()
 
@@ -189,6 +253,7 @@ class ViewService:
                 "maintenance_runs": self.updater.maintenance_runs,
                 "index_backend": self.updater.index_backend,
                 "subscriptions": self.subscriptions.stats(),
+                "changefeed": self.changefeeds.stats(),
                 "config": self.config.to_dict(),
             }
 
@@ -196,37 +261,46 @@ class ViewService:
 
     @property
     def atg(self) -> ATG:
+        """The view definition σ this service publishes."""
         return self.updater.atg
 
     @property
     def db(self) -> Database:
+        """The base database I (mutated in place by accepted updates)."""
         return self.updater.db
 
     @property
     def store(self):
+        """The DAG view store V (read-mostly delegation)."""
         return self.updater.store
 
     @property
     def topo(self):
+        """The topological order L (read-mostly delegation)."""
         return self.updater.topo
 
     @property
     def reach(self):
+        """The reachability index M (read-mostly delegation)."""
         return self.updater.reach
 
     @property
     def registry(self):
+        """The edge-view registry (read-mostly delegation)."""
         return self.updater.registry
 
     @property
     def index_backend(self) -> str:
+        """The resolved reachability-index backend name."""
         return self.updater.index_backend
 
     @property
     def maintenance_runs(self) -> int:
+        """Δ(M,L) repair passes run so far (batching amortizes them)."""
         return self.updater.maintenance_runs
 
     def xml_tree(self) -> XMLNode:
+        """Alias of :meth:`snapshot` (updater-surface compatibility)."""
         return self.snapshot()
 
     # -- helpers ------------------------------------------------------------------

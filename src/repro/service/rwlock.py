@@ -46,11 +46,14 @@ class RWLock:
         self._writers_waiting = 0
 
     def held_by_current_writer(self) -> bool:
+        """Whether the calling thread owns the write side right now."""
         return self._writer_thread is threading.current_thread()
 
     # -- raw protocol -----------------------------------------------------------
 
     def acquire_read(self) -> None:
+        """Take the shared side; blocks behind active/waiting writers
+        (reentrant reads skip the queue — see the class docstring)."""
         ident = threading.get_ident()
         with self._cond:
             if self._reader_threads.get(ident):
@@ -67,6 +70,7 @@ class RWLock:
             self._reader_threads[ident] = 1
 
     def release_read(self) -> None:
+        """Release one shared hold; wakes writers when readers drain."""
         ident = threading.get_ident()
         with self._cond:
             self._readers -= 1
@@ -79,6 +83,12 @@ class RWLock:
                 self._cond.notify_all()
 
     def acquire_write(self) -> None:
+        """Take the exclusive side (reentrant per owning thread).
+
+        Raises :class:`RuntimeError` when the caller holds the read
+        side: granting the upgrade would deadlock (the writer waits for
+        all readers — including the upgrading one — to drain).
+        """
         me = threading.current_thread()
         with self._cond:
             if self._writer_thread is me:
@@ -105,6 +115,7 @@ class RWLock:
                 self._writers_waiting -= 1
 
     def release_write(self) -> None:
+        """Release one exclusive hold; wakes everyone at depth zero."""
         with self._cond:
             self._writer_depth -= 1
             if self._writer_depth == 0:
@@ -115,6 +126,7 @@ class RWLock:
 
     @contextmanager
     def read(self):
+        """``with lock.read():`` — shared access as a context manager."""
         if self.held_by_current_writer():
             # The write owner already has exclusive access.
             yield self
@@ -127,6 +139,7 @@ class RWLock:
 
     @contextmanager
     def write(self):
+        """``with lock.write():`` — exclusive access as a context manager."""
         self.acquire_write()
         try:
             yield self

@@ -10,7 +10,12 @@
 Public entry point: :meth:`repro.service.ViewService.subscribe`.
 """
 
-from repro.subscribe.delta import EdgeRecord, ViewEvent, coalesce
+from repro.subscribe.delta import (
+    SCHEMA_VERSION,
+    EdgeRecord,
+    ViewEvent,
+    coalesce,
+)
 from repro.subscribe.deps import (
     QueryProfile,
     first_affected_step,
@@ -19,6 +24,7 @@ from repro.subscribe.deps import (
 from repro.subscribe.engine import Subscription, SubscriptionRegistry
 
 __all__ = [
+    "SCHEMA_VERSION",
     "EdgeRecord",
     "ViewEvent",
     "coalesce",

@@ -21,10 +21,34 @@ the node), which is what value-anchored pruning needs.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.errors import EventDecodeError
 from repro.views.store import ViewDelta, ViewStore
+
+#: Version of the frozen public event wire format (see
+#: ``docs/event-schema.md``).  Bumped only on incompatible changes;
+#: decoders reject payloads from a different major version.
+SCHEMA_VERSION = 1
+
+
+def _expect(payload: dict, key: str, types, what: str):
+    """Pull ``key`` out of ``payload``, validating its JSON type."""
+    if key not in payload:
+        raise EventDecodeError(f"{what} is missing required key {key!r}")
+    value = payload[key]
+    # bool subclasses int in Python but not in JSON: `true` is not an id.
+    wrong_type = not isinstance(value, types) or (
+        types is int and isinstance(value, bool)
+    )
+    if wrong_type:
+        raise EventDecodeError(
+            f"{what} key {key!r} has wrong type: expected "
+            f"{types}, got {value!r}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -40,6 +64,45 @@ class EdgeRecord:
     """The child's string value when it is a PCDATA leaf and the value
     was still known at capture time; ``None`` means "unknown — assume
     any value" (pruning must stay conservative)."""
+
+    def to_dict(self) -> dict:
+        """The frozen JSON wire form (``docs/event-schema.md``)."""
+        return {
+            "kind": self.kind,
+            "parent_type": self.parent_type,
+            "child_type": self.child_type,
+            "parent": self.parent,
+            "child": self.child,
+            "child_value": self.child_value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EdgeRecord":
+        """Decode one wire-form edge record (strict: bad shapes raise)."""
+        if not isinstance(payload, dict):
+            raise EventDecodeError(
+                f"edge record must be an object, got {payload!r}"
+            )
+        kind = _expect(payload, "kind", str, "edge record")
+        if kind not in ("insert", "delete"):
+            raise EventDecodeError(
+                f"edge record kind must be 'insert' or 'delete', "
+                f"got {kind!r}"
+            )
+        value = payload.get("child_value")
+        if value is not None and not isinstance(value, str):
+            raise EventDecodeError(
+                f"edge record child_value must be a string or null, "
+                f"got {value!r}"
+            )
+        return cls(
+            kind=kind,
+            parent_type=_expect(payload, "parent_type", str, "edge record"),
+            child_type=_expect(payload, "child_type", str, "edge record"),
+            parent=_expect(payload, "parent", int, "edge record"),
+            child=_expect(payload, "child", int, "edge record"),
+            child_value=value,
+        )
 
 
 @dataclass
@@ -60,9 +123,59 @@ class ViewEvent:
     deferred: bool = False
     """Emitted mid-batch while the Δ(M,L) repair is still pending; the
     registry buffers deferred events and processes them, coalesced,
-    when the session's flush event arrives."""
+    when the session's flush event arrives.  Deferred events are
+    engine-internal: the public changefeed coalesces them before
+    publication, so they never appear on the wire."""
 
     reason: str = ""
+
+    # -- the frozen public wire format (docs/event-schema.md) -------------------
+
+    def to_dict(self) -> dict:
+        """The JSON-safe wire form of this event.
+
+        ``deferred`` is deliberately absent: published events are always
+        batch-coalesced, so the flag is meaningless to consumers.
+        """
+        return {
+            "schema": SCHEMA_VERSION,
+            "generation": self.generation,
+            "coarse": self.coarse,
+            "reason": self.reason,
+            "edges": [rec.to_dict() for rec in self.edges],
+        }
+
+    def to_json(self) -> str:
+        """One compact JSON object (the changefeed's on-the-wire unit)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ViewEvent":
+        """Decode one wire-form event; strict on shape and version."""
+        if not isinstance(payload, dict):
+            raise EventDecodeError(f"event must be an object, got {payload!r}")
+        schema = _expect(payload, "schema", int, "event")
+        if schema != SCHEMA_VERSION:
+            raise EventDecodeError(
+                f"unsupported event schema version {schema} "
+                f"(this library speaks version {SCHEMA_VERSION})"
+            )
+        edges = _expect(payload, "edges", list, "event")
+        return cls(
+            generation=_expect(payload, "generation", int, "event"),
+            edges=[EdgeRecord.from_dict(rec) for rec in edges],
+            coarse=_expect(payload, "coarse", bool, "event"),
+            reason=_expect(payload, "reason", str, "event"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ViewEvent":
+        """Decode :meth:`to_json` output (round-trip tested)."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise EventDecodeError(f"event is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
 
 
 def edge_records_from_delta(

@@ -70,6 +70,9 @@ class EdgePattern:
     changes through an edge whose parent it already contains."""
 
     def matches(self, rec: EdgeRecord) -> bool:
+        """Whether ``rec`` could invalidate a step depending on this
+        pattern (type/value test only; node-membership sharpening is the
+        caller's job — see :func:`first_affected_step`)."""
         if self.parent is not None and rec.parent_type != self.parent:
             return False
         if self.child is not None and rec.child_type != self.child:

@@ -13,9 +13,17 @@ registry picks the cheapest sound action:
 - **suffix re-evaluation** — the earliest affected step is ``k > 0``:
   contexts ``C_0 .. C_k`` are intact, so only ``steps[k:]`` re-runs
   from the cached ``C_k`` (:meth:`DagXPathEvaluator.evaluate_from`);
-- **full re-evaluation** — the event is coarse (base-update
-  propagation, rebuilds), step 0 is affected, or no contexts are
-  cached.
+- **full re-evaluation** — the event is coarse (store rebuilds, or the
+  cost-based fallback coarsened an oversized edge list — see
+  :data:`DEFAULT_COARSE_THRESHOLD`), step 0 is affected, or no contexts
+  are cached.  Base-update propagation emits *fine-grained* events
+  (typed :class:`~repro.atg.incremental.PropagationReport` records), so
+  the same pruning applies to the reverse pipeline.
+
+Alongside the full result set, each maintenance action derives the
+per-commit **result delta** from the old/new tuples the registry
+already holds: :meth:`Subscription.delta` returns ``(added, removed)``
+node ids at near-zero cost.
 
 Every subscription is generation-tagged with the updater's version
 counter.  :meth:`Subscription.result` compares tags before answering
@@ -46,7 +54,18 @@ _STAT_KEYS = (
     "suffix_refreshes",
     "full_refreshes",
     "fallback_refreshes",
+    "coarse_fallbacks",
 )
+
+#: Above this many edges in one event, scanning every subscription's
+#: per-step patterns against every edge costs more than simply
+#: re-evaluating, so the registry degrades the event to coarse.  The
+#: default is calibrated by ``benchmarks/test_coarse_fallback.py``
+#: (measured crossover ≈ 512 worst-case edges at 16 standing queries,
+#: recorded in ``BENCH_index.json``; the default sits below it because
+#: real events match patterns and re-evaluate some queries either way).
+#: Override per service via ``ViewConfig(coarse_event_threshold=...)``.
+DEFAULT_COARSE_THRESHOLD = 256
 
 
 class Subscription:
@@ -70,11 +89,13 @@ class Subscription:
         self._mutex = threading.Lock()
         self._generation = -1
         self._nodes: tuple[int, ...] = ()
+        self._delta: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
         self._contexts: list[list[int]] | None = None
         self._context_sets: list[frozenset] | None = None
 
     @property
     def generation(self) -> int:
+        """The updater generation this subscription's cache reflects."""
         return self._generation
 
     def result(self) -> tuple[int, ...]:
@@ -85,6 +106,20 @@ class Subscription:
         generations trigger an inline full re-evaluation first.
         """
         return self._registry.result_of(self)
+
+    def delta(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(added, removed)`` node ids of the most recent commit.
+
+        Derived in the registry from the old/new result tuples it
+        already holds, so the watcher pattern — "tell me what changed,
+        not the whole set" — costs nothing extra.  Both tuples are
+        sorted; a commit that did not move this result yields
+        ``((), ())``, as does a freshly registered subscription.  Reads
+        carry the same freshness guarantee as :meth:`result`: a stale
+        generation triggers an inline refresh first, and the delta then
+        spans everything since the last refreshed generation.
+        """
+        return self._registry.delta_of(self)
 
     def close(self) -> None:
         """Stop maintaining this subscription (idempotent)."""
@@ -100,7 +135,7 @@ class Subscription:
 class SubscriptionRegistry:
     """All subscriptions of one view; consumes the commit event stream."""
 
-    def __init__(self, updater, lock=None):
+    def __init__(self, updater, lock=None, coarse_threshold: int | None = None):
         self.updater = updater
         self._lock = lock
         self._subs: list[Subscription] = []
@@ -108,12 +143,41 @@ class SubscriptionRegistry:
         self._buffer: list[ViewEvent] = []
         self._ids = itertools.count(1)
         self._registered = False
+        self._pinned = False
         self._closed_totals: dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
+        self.coarse_threshold = (
+            DEFAULT_COARSE_THRESHOLD
+            if coarse_threshold is None
+            else coarse_threshold
+        )
+        """Cost-based fallback: events carrying more edges than this are
+        handled as coarse (one full re-evaluation per subscription)
+        instead of being scanned edge-by-edge against every pattern."""
         self.events_processed = 0
         self.events_buffered = 0
         self.publish_seconds = 0.0
 
     # -- registration ------------------------------------------------------------
+
+    def ensure_registered(self, pin: bool = False) -> None:
+        """Hook the registry onto the updater's commit observer list.
+
+        Normally lazy (the first :meth:`subscribe` does it); the service
+        façade calls this with ``pin=True`` before attaching the
+        changefeed hub, so that registry maintenance always runs *before*
+        changefeed delivery — a changefeed callback then observes
+        subscriptions already consistent with the event it receives.  A
+        pinned registry never unhooks, keeping that ordering stable.
+        """
+        with self._members:
+            self._ensure_registered_locked(pin)
+
+    def _ensure_registered_locked(self, pin: bool) -> None:
+        """The hookup itself; callers hold ``self._members``."""
+        self._pinned = self._pinned or pin
+        if not self._registered:
+            self.updater.add_observer(self.handle)
+            self._registered = True
 
     def subscribe(self, path: str | XPath) -> Subscription:
         """Register ``path`` and evaluate it eagerly.
@@ -137,15 +201,17 @@ class SubscriptionRegistry:
             self._refresh_full(sub)
             sub._generation = self.updater._version
         with self._members:
-            if not self._registered:
-                # Lazy observer hookup: commits only pay the event
-                # construction cost once someone actually subscribes.
-                self.updater.add_observer(self.handle)
-                self._registered = True
+            # Lazy observer hookup: commits only pay the event
+            # construction cost once someone actually subscribes (or a
+            # changefeed pins).  One critical section for hookup +
+            # append, so a concurrent close() of the last other
+            # subscription cannot unhook between the two.
+            self._ensure_registered_locked(pin=False)
             self._subs.append(sub)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
+        """Drop ``sub`` from maintenance (idempotent; folds its stats)."""
         with self._members:
             sub.active = False
             if sub in self._subs:
@@ -154,9 +220,10 @@ class SubscriptionRegistry:
                 # closed subscription's tallies into the totals.
                 for key in _STAT_KEYS:
                     self._closed_totals[key] += sub.stats[key]
-            if not self._subs and self._registered:
+            if not self._subs and self._registered and not self._pinned:
                 # Last subscription gone: unhook so commits stop paying
-                # the event-construction cost.
+                # the event-construction cost.  (A registry pinned by a
+                # changefeed stays hooked to keep observer order stable.)
                 self.updater.remove_observer(self.handle)
                 self._registered = False
                 self._buffer.clear()
@@ -188,6 +255,17 @@ class SubscriptionRegistry:
             self._buffer.clear()
         if not self._subs:
             return
+        if not event.coarse and len(event.edges) > self.coarse_threshold:
+            # Cost-based fallback: scanning a huge edge list (bulk
+            # batches, wide base propagations) against every pattern of
+            # every subscription costs more than one re-evaluation each.
+            event = ViewEvent(
+                generation=event.generation,
+                coarse=True,
+                reason=f"cost_fallback({event.reason})",
+            )
+            for sub in list(self._subs):
+                sub.stats["coarse_fallbacks"] += 1
         start = time.perf_counter()
         for sub in list(self._subs):
             with sub._mutex:
@@ -196,16 +274,21 @@ class SubscriptionRegistry:
         self.events_processed += 1
 
     def _apply_event(self, sub: Subscription, event: ViewEvent) -> None:
+        old = sub._nodes
         k = first_affected_step(sub.profile, event, sub._context_sets)
         if k is None:
             sub.stats["skips"] += 1
-        elif k == 0 or sub._contexts is None or len(sub._contexts) <= k:
+            sub._delta = ((), ())
+            sub._generation = event.generation
+            return
+        if k == 0 or sub._contexts is None or len(sub._contexts) <= k:
             # (coarse events arrive as k == 0.)
             self._refresh_full(sub)
             sub.stats["full_refreshes"] += 1
         else:
             self._refresh_suffix(sub, k)
             sub.stats["suffix_refreshes"] += 1
+        sub._delta = _diff(old, sub._nodes)
         sub._generation = event.generation
 
     def _refresh_full(self, sub: Subscription) -> None:
@@ -236,21 +319,38 @@ class SubscriptionRegistry:
     def _read(self):
         return self._lock.read() if self._lock is not None else nullcontext()
 
+    def _refresh_if_stale(self, sub: Subscription) -> None:
+        """Generation-tagged fallback: a missed/deferred event (mid-batch
+        reads, observer-less direct use) costs a full re-evaluation,
+        never staleness.  The delta then spans everything since the last
+        generation this subscription reflected."""
+        if sub._generation != self.updater._version:
+            old = sub._nodes
+            self._refresh_full(sub)
+            sub._delta = _diff(old, sub._nodes)
+            sub._generation = self.updater._version
+            sub.stats["fallback_refreshes"] += 1
+
     def result_of(self, sub: Subscription) -> tuple[int, ...]:
+        """Current result of ``sub`` (see :meth:`Subscription.result`)."""
         with self._read():
             with sub._mutex:
-                if sub._generation != self.updater._version:
-                    # Generation-tagged fallback: a missed/deferred event
-                    # (mid-batch reads, observer-less direct use) costs a
-                    # full re-evaluation, never staleness.
-                    self._refresh_full(sub)
-                    sub._generation = self.updater._version
-                    sub.stats["fallback_refreshes"] += 1
+                self._refresh_if_stale(sub)
                 return sub._nodes
+
+    def delta_of(
+        self, sub: Subscription
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Last-commit ``(added, removed)`` (see :meth:`Subscription.delta`)."""
+        with self._read():
+            with sub._mutex:
+                self._refresh_if_stale(sub)
+                return sub._delta
 
     # -- statistics ------------------------------------------------------------------
 
     def stats(self) -> dict:
+        """JSON-safe registry counters (monotonic across closes)."""
         totals = dict(self._closed_totals)
         for sub in list(self._subs):
             for key in _STAT_KEYS:
@@ -260,5 +360,19 @@ class SubscriptionRegistry:
             "events_processed": self.events_processed,
             "events_buffered": self.events_buffered,
             "publish_seconds": self.publish_seconds,
+            "coarse_threshold": self.coarse_threshold,
             **totals,
         }
+
+
+def _diff(
+    old: tuple[int, ...], new: tuple[int, ...]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """``(added, removed)`` between two sorted result tuples."""
+    if old == new:
+        return ((), ())
+    old_set, new_set = set(old), set(new)
+    return (
+        tuple(sorted(new_set - old_set)),
+        tuple(sorted(old_set - new_set)),
+    )

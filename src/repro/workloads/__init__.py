@@ -22,6 +22,7 @@ from repro.workloads.queries import (
     REGISTRAR_QUERIES,
     make_query_set,
     make_workload,
+    registrar_op_stream,
 )
 from repro.workloads.registrar import build_registrar, registrar_atg
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
@@ -67,6 +68,7 @@ __all__ = [
     "build_chain",
     "make_workload",
     "make_query_set",
+    "registrar_op_stream",
     "REGISTRAR_QUERIES",
     "named_workload",
 ]

@@ -158,6 +158,29 @@ REGISTRAR_QUERIES = (
 )
 
 
+def registrar_op_stream() -> list[UpdateOperation]:
+    """A short all-accepted op stream over the registrar seed data.
+
+    One op of every kind, in an order that keeps each accepted against
+    :func:`~repro.workloads.registrar.build_registrar`'s instance —
+    the canonical demo stream for subscriptions and the changefeed
+    (examples, smoke tests, docs).  ``BaseUpdateOp`` rides at the end
+    so the rest can be applied as one batch when a caller wants to.
+    """
+    from repro.ops import BaseUpdateOp
+
+    return [
+        DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+        InsertOp("course[cno=CS650]/prereq", "course",
+                 ("CS500", "Operating Systems")),
+        ReplaceOp("course[cno=CS650]/prereq/course[cno=CS500]",
+                  "course", ("CS320", "Databases")),
+        BaseUpdateOp(ops=(
+            ("insert", "course", ("CS901", "Seminar", "CS")),
+        )),
+    ]
+
+
 def make_query_set(
     dataset: SyntheticDataset,
     count: int = 12,

@@ -403,3 +403,255 @@ def test_random_streams_keep_subscriptions_current(stream, batched):
             service.apply(op)
             assert_current(service, subs, "after random op")
     assert service.check_consistency() == []
+
+
+# ---------------------------------------------------------------------------
+# Result deltas: (added, removed) per commit
+# ---------------------------------------------------------------------------
+
+
+def assert_deltas_compose(service, subs, previous, tag=""):
+    """After one apply: every subscription's delta turns its previous
+    result into its current one, and matches a fresh-evaluation diff."""
+    for sub in subs:
+        before = previous[sub.id]
+        added, removed = sub.delta()
+        now = set(sub.result())
+        fresh = set(service.xpath(sub.path).targets)
+        assert now == fresh, f"{tag}: {sub.path!r} drifted"
+        if sub.generation == previous["generation"]:
+            # No commit reached this subscription: nothing changed.
+            assert now == before, f"{tag}: {sub.path!r} moved without event"
+        else:
+            assert set(removed) <= before, f"{tag}: {sub.path!r} bad removed"
+            assert not (set(added) & before), f"{tag}: {sub.path!r} bad added"
+            assert (before - set(removed)) | set(added) == now, (
+                f"{tag}: {sub.path!r} delta does not compose: "
+                f"{before} -{removed} +{added} != {now}"
+            )
+        previous[sub.id] = now
+    previous["generation"] = max(sub.generation for sub in subs)
+
+
+class TestResultDeltas:
+    def test_initial_delta_is_empty(self):
+        service = registrar_service()
+        sub = service.subscribe("//course")
+        assert sub.delta() == ((), ())
+
+    def test_skip_yields_empty_delta(self):
+        service = registrar_service()
+        sub = service.subscribe("course[cno=CS240]/takenBy/student")
+        before = sub.result()
+        service.apply(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
+        assert sub.stats["skips"] == 1
+        assert sub.delta() == ((), ())
+        assert sub.result() == before
+
+    def test_delete_and_insert_deltas(self):
+        service = registrar_service()
+        sub = service.subscribe("course[cno=CS650]/prereq/course")
+        before = sub.result()
+        service.apply(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
+        added, removed = sub.delta()
+        assert added == ()
+        assert set(removed) == set(before) - set(sub.result())
+        service.apply(InsertOp(
+            "course[cno=CS650]/prereq", "course", ("CS240", "Data Structures")
+        ))
+        added, removed = sub.delta()
+        assert removed == ()
+        assert len(added) == 1
+        assert set(sub.result()) == set(added)
+
+    def test_mixed_stream_deltas_compose(self):
+        service = registrar_service()
+        subs = [service.subscribe(q) for q in REGISTRAR_QUERIES]
+        previous = {sub.id: set(sub.result()) for sub in subs}
+        previous["generation"] = max(sub.generation for sub in subs)
+        stream = [
+            DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+            InsertOp("course[cno=CS650]/prereq", "course",
+                     ("CS500", "Operating Systems")),
+            ReplaceOp("course[cno=CS650]/prereq/course[cno=CS500]",
+                      "course", ("CS320", "Databases")),
+            DeleteOp("course[cno=NOPE]"),  # rejected: no commit, no delta
+            BaseUpdateOp(ops=(
+                ("insert", "course", ("CS777", "Compilers", "CS")),
+            )),
+            InsertOp(".", "course", ("CS700", "Theory")),
+        ]
+        for op in stream:
+            service.apply(op)
+            assert_deltas_compose(service, subs, previous, f"after {op.kind}")
+
+    def test_batch_delta_spans_the_whole_session(self):
+        service = registrar_service()
+        sub = service.subscribe("course[cno=CS650]/prereq/course")
+        before = set(sub.result())
+        service.apply([
+            DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+            InsertOp("course[cno=CS650]/prereq", "course",
+                     ("CS500", "Operating Systems")),
+        ])
+        added, removed = sub.delta()
+        assert (before - set(removed)) | set(added) == set(sub.result())
+
+    def test_fallback_read_delta_spans_missed_generations(self):
+        # Reading mid-batch takes the fallback path; the delta then
+        # spans everything since the subscription's last refresh.
+        service = registrar_service()
+        sub = service.subscribe("course[cno=CS650]/prereq/course")
+        before = set(sub.result())
+        with service.batch() as batch:
+            batch.apply(
+                DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]")
+            )
+            added, removed = sub.delta()  # mid-batch: fallback refresh
+            assert sub.stats["fallback_refreshes"] == 1
+            assert (before - set(removed)) | set(added) == set(sub.result())
+
+
+@given(registrar_streams(), st.booleans())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_stream_deltas_compose(stream, batched):
+    service = registrar_service()
+    subs = [service.subscribe(q) for q in REGISTRAR_QUERIES]
+    previous = {sub.id: set(sub.result()) for sub in subs}
+    previous["generation"] = max(sub.generation for sub in subs)
+    batchable = [op for op in stream if not isinstance(op, BaseUpdateOp)]
+    if batched and len(batchable) >= 2:
+        service.apply(batchable)
+        assert_deltas_compose(service, subs, previous, "after random batch")
+    else:
+        for op in stream:
+            service.apply(op)
+            assert_deltas_compose(service, subs, previous, "after random op")
+    assert service.check_consistency() == []
+
+
+# ---------------------------------------------------------------------------
+# Fine-grained base-update events (the reverse pipeline prunes too)
+# ---------------------------------------------------------------------------
+
+
+class TestFineGrainedBaseEvents:
+    def test_unrelated_base_update_is_skipped(self):
+        service = registrar_service()
+        sub = service.subscribe("course[cno=CS650]/prereq/course")
+        # Enrollment changes touch takenBy subtrees only: the prereq
+        # subscription must skip, not re-evaluate.
+        service.apply(BaseUpdateOp(ops=(
+            ("insert", "enroll", ("S03", "CS650")),
+        )))
+        assert sub.stats["skips"] == 1
+        assert sub.stats["full_refreshes"] == 0
+        assert_current(service, [sub], "after unrelated base update")
+
+    def test_relevant_base_update_updates_result(self):
+        service = registrar_service()
+        sub = service.subscribe("//course[cno=CS901]")
+        assert sub.result() == ()
+        service.apply(BaseUpdateOp(ops=(
+            ("insert", "course", ("CS901", "Seminar", "CS")),
+        )))
+        assert len(sub.result()) == 1
+        added, removed = sub.delta()
+        assert removed == () and len(added) == 1
+        assert_current(service, [sub], "after relevant base update")
+
+    def test_direct_apply_base_update_also_fine_grained(self):
+        # The unlocked-core path (no plan/commit) emits the same event.
+        service = registrar_service()
+        sub = service.subscribe("course[cno=CS650]/prereq/course")
+        events = []
+        service.updater.add_observer(events.append)
+        from repro.relational.database import RelationalDelta
+
+        delta = RelationalDelta()
+        delta.insert("enroll", ("S01", "CS320"))
+        service.updater.apply_base_update(delta)
+        assert len(events) == 1
+        assert not events[0].coarse
+        assert all(rec.kind == "insert" for rec in events[0].edges)
+        assert sub.result() == tuple(
+            sorted(service.xpath(sub.path).targets)
+        )
+
+    def test_base_update_losses_and_gains_are_typed(self):
+        service = registrar_service()
+        events = []
+        service.changefeed(on_event=events.append)
+        service.apply(BaseUpdateOp(ops=(
+            ("delete", "prereq", ("CS650", "CS320")),
+            ("insert", "prereq", ("CS650", "CS240")),
+        )))
+        [event] = events
+        assert not event.coarse
+        kinds = {(rec.kind, rec.parent_type, rec.child_type)
+                 for rec in event.edges}
+        assert ("delete", "prereq", "course") in kinds
+        assert ("insert", "prereq", "course") in kinds
+
+    def test_rebuild_stays_coarse(self):
+        service = registrar_service()
+        events = []
+        service.changefeed(on_event=events.append)
+        sub = service.subscribe("//course")
+        service.updater.rebuild()
+        assert events and events[-1].coarse
+        assert events[-1].reason == "rebuild"
+        assert_current(service, [sub], "after rebuild")
+
+
+# ---------------------------------------------------------------------------
+# Cost-based coarse fallback
+# ---------------------------------------------------------------------------
+
+
+class TestCoarseFallback:
+    def test_threshold_zero_coarsens_every_fine_event(self):
+        service = registrar_service(coarse_event_threshold=0)
+        subs = [service.subscribe(q) for q in REGISTRAR_QUERIES]
+        service.apply(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
+        stats = service.subscriptions.stats()
+        assert stats["coarse_fallbacks"] == len(subs)
+        assert stats["skips"] == 0
+        assert stats["full_refreshes"] == len(subs)
+        assert_current(service, subs, "after coarsened event")
+
+    def test_default_threshold_leaves_small_events_fine(self):
+        service = registrar_service()
+        service.subscribe("course[cno=CS240]/takenBy/student")
+        service.apply(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))
+        stats = service.subscriptions.stats()
+        assert stats["coarse_fallbacks"] == 0
+        assert stats["skips"] == 1
+
+    def test_threshold_surfaces_in_stats_and_config(self):
+        service = registrar_service(coarse_event_threshold=7)
+        assert service.subscriptions.stats()["coarse_threshold"] == 7
+        from repro.subscribe.engine import DEFAULT_COARSE_THRESHOLD
+
+        default = registrar_service()
+        assert default.subscriptions.stats()["coarse_threshold"] == (
+            DEFAULT_COARSE_THRESHOLD
+        )
+
+    def test_equivalence_preserved_under_tiny_threshold(self):
+        service = registrar_service(coarse_event_threshold=1)
+        subs = [service.subscribe(q) for q in REGISTRAR_QUERIES]
+        for op in (
+            DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+            InsertOp(".", "course", ("CS700", "Theory")),
+            BaseUpdateOp(ops=(
+                ("insert", "course", ("CS777", "Compilers", "CS")),
+            )),
+        ):
+            service.apply(op)
+            assert_current(service, subs, "tiny threshold")
+        assert service.check_consistency() == []
