@@ -73,7 +73,12 @@ def pytest_sessionfinish(session, exitstatus):
     )
 
 
-def fresh_updater(n_c: int, seed: int = 42, index_backend: str = "auto"):
+def fresh_updater(
+    n_c: int,
+    seed: int = 42,
+    index_backend: str = "auto",
+    capture_closure_deltas: "bool | str" = "auto",
+):
     """A pristine dataset + updater (mutating benchmarks rebuild per round)."""
     dataset = build_synthetic(SyntheticConfig(n_c=n_c, seed=seed))
     updater = XMLViewUpdater(
@@ -83,6 +88,7 @@ def fresh_updater(n_c: int, seed: int = 42, index_backend: str = "auto"):
         strict=False,
         sat_solver="auto",
         index_backend=index_backend,
+        capture_closure_deltas=capture_closure_deltas,
     )
     return updater, dataset
 

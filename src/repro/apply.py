@@ -71,6 +71,7 @@ def run(
     plan_only: bool = False,
     as_json: bool = False,
     stop_on_error: bool = True,
+    show_stats: bool = False,
     out: TextIO | None = None,
 ) -> int:
     """Drive the service with a JSONL op stream; returns the exit code.
@@ -132,6 +133,16 @@ def run(
             f"consistency {'OK' if not problems else 'FAILED'}{trailer}",
             file=out,
         )
+    if show_stats:
+        # Provenance line for benchmark records: which engine actually
+        # ran (``auto`` resolves per environment) and how big ``M`` is.
+        stats = service.stats()
+        print(
+            f"index backend: {stats['index_backend']} "
+            f"(requested {index_backend!r}); "
+            f"|M| = {stats['reach_pairs']} reachability pairs",
+            file=out,
+        )
     if problems:
         for problem in problems:
             print(f"consistency: {problem}", file=sys.stderr)
@@ -164,7 +175,14 @@ def main(argv: list[str] | None = None) -> int:
         "--backend",
         dest="index_backend",
         default="auto",
-        help="reachability-index backend (auto | bitset | sets)",
+        help="reachability-index backend (auto | matrix | bitset | sets)",
+    )
+    parser.add_argument(
+        "--stats",
+        dest="show_stats",
+        action="store_true",
+        help="after the run, print the resolved index backend and |M| "
+        "(benchmark provenance)",
     )
     parser.add_argument(
         "--plan-only",
@@ -205,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
                 plan_only=args.plan_only,
                 as_json=args.as_json,
                 stop_on_error=args.stop_on_error,
+                show_stats=args.show_stats,
             )
         with open(args.ops_file, "r", encoding="utf-8") as handle:
             return run(
@@ -215,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
                 plan_only=args.plan_only,
                 as_json=args.as_json,
                 stop_on_error=args.stop_on_error,
+                show_stats=args.show_stats,
             )
     except (OSError, ReproError) as exc:
         # Decode errors are handled per line inside run(); this covers

@@ -36,6 +36,7 @@ the garbage-collection feed ``Δ'V``, and they are dropped from ``L``,
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.atg.publisher import SubtreeResult
@@ -45,6 +46,34 @@ from repro.index import ReachabilityIndex
 from repro.views.store import ViewDelta, ViewStore
 
 
+#: A closure pair-delta: (added pairs, removed pairs) of ``M``.
+PairDelta = tuple[list[tuple[int, int]], list[tuple[int, int]]]
+
+
+def net_pair_deltas(deltas: list[PairDelta]) -> PairDelta:
+    """Replay a sequence of pair-deltas into one net ``(added, removed)``.
+
+    A composite update runs several repairs (insert repairs, then the
+    closing delete pass); a pair added by one and removed by the next
+    cancels out, so the net delta describes exactly the start-to-end
+    closure change.  Both output lists are sorted.
+    """
+    added: set[tuple[int, int]] = set()
+    removed: set[tuple[int, int]] = set()
+    for step_added, step_removed in deltas:
+        for pair in step_added:
+            if pair in removed:
+                removed.discard(pair)
+            else:
+                added.add(pair)
+        for pair in step_removed:
+            if pair in added:
+                added.discard(pair)
+            else:
+                removed.add(pair)
+    return sorted(added), sorted(removed)
+
+
 @dataclass
 class InsertMaintenance:
     """Report of a Δ(M,L)insert run."""
@@ -52,6 +81,15 @@ class InsertMaintenance:
     added_pairs: int = 0
     moved_nodes: int = 0
     placed_nodes: int = 0
+    m_seconds: float = 0.0
+    """Wall time of the ``ΔM`` steps alone (the reachability-index
+    repair) — the ``L`` placement and swap repairs are backend-invariant
+    and excluded, so backend ablations compare exactly the component
+    they vary."""
+    pair_delta: PairDelta | None = None
+    """The exact (added, removed) closure pairs of this repair, captured
+    only when requested (``capture_pairs=True``) — subscription engines
+    patch ``//`` regions from it instead of re-evaluating."""
 
 
 @dataclass
@@ -67,6 +105,13 @@ class DeleteMaintenance:
     """(type, PCDATA value) per garbage-collected node, captured before
     removal — subscription events need child values the store no longer
     holds."""
+    m_seconds: float = 0.0
+    """Wall time of the ``ΔM`` steps alone (region query + retain sweep
+    + node drops); store/topo surgery is backend-invariant and
+    excluded."""
+    pair_delta: PairDelta | None = None
+    """The exact (added, removed) closure pairs of this repair, captured
+    only when requested (``capture_pairs=True``)."""
 
 
 def place_new_nodes(
@@ -162,14 +207,24 @@ def maintain_insert(
     reach: ReachabilityIndex,
     subtree: SubtreeResult,
     targets: list[int],
+    capture_pairs: bool = False,
 ) -> InsertMaintenance:
-    """Algorithm Δ(M,L)insert.  Call *after* ``store.apply(ΔV)``."""
+    """Algorithm Δ(M,L)insert.  Call *after* ``store.apply(ΔV)``.
+
+    With ``capture_pairs`` the report carries the exact closure
+    pair-delta of the repair (snapshot + bulk :meth:`diff`).
+    """
     report = InsertMaintenance()
+    snapshot = reach.copy() if capture_pairs else None
     report.placed_nodes = place_new_nodes(store, topo, subtree)
+    t0 = time.perf_counter()
     report.added_pairs = insert_pairs(store, topo, reach, subtree, targets)
+    report.m_seconds = time.perf_counter() - t0
     report.moved_nodes = repair_topo_after_insert(
         topo, subtree, targets, reach.desc_view(subtree.root)
     )
+    if snapshot is not None:
+        report.pair_delta = reach.diff(snapshot)
     return report
 
 
@@ -178,6 +233,7 @@ def maintain_delete(
     topo: TopoOrder,
     reach: ReachabilityIndex,
     result: "EvalResult | list[int]",
+    capture_pairs: bool = False,
 ) -> DeleteMaintenance:
     """Algorithm Δ(M,L)delete.  Call *after* ``store.apply(ΔV)``.
 
@@ -185,38 +241,44 @@ def maintain_delete(
     deleted child nodes (``r[[p]]``) — the algorithm only needs the
     targets.  Returns the garbage-collection feed ``Δ'V`` (already
     applied to the store) together with the removed reachability pairs
-    and nodes.
+    and nodes.  With ``capture_pairs`` the report carries the exact
+    closure pair-delta of the repair.
+
+    The ancestor-recomputation walk over ``LR = desc-or-self(r[[p]])``
+    is delegated to :meth:`ReachabilityIndex.retain_sweep`, so bulk
+    backends can vectorize the whole sweep; the store is only mutated
+    after the sweep returns.
     """
     report = DeleteMaintenance()
+    snapshot = reach.copy() if capture_pairs else None
     targets = result if isinstance(result, list) else result.targets
+    t0 = time.perf_counter()
     affected = set(targets) | reach.desc_of_set(targets)
     lr = topo.sort_nodes(affected)  # descendants first
-    condemned: set[int] = set()
-
-    for node in reversed(lr):  # ancestors first
-        parents = store.parents_of(node)
-        surviving = (
-            [p for p in parents if p not in condemned]
-            if condemned
-            else parents
+    report.removed_pairs, condemned = reach.retain_sweep(
+        store, lr, store.root_id
+    )
+    report.m_seconds = time.perf_counter() - t0
+    for node in condemned:  # ancestors first
+        report.removed_info[node] = (
+            store.type_of(node), store.value_of(node)
         )
-        report.removed_pairs += reach.retain_ancestors(node, surviving)
-        if not surviving and node != store.root_id:
-            condemned.add(node)
-            report.removed_info[node] = (
-                store.type_of(node), store.value_of(node)
+        for child in list(store.children_of(node)):
+            report.gc_delta.delete(
+                store.type_of(node), store.type_of(child), node, child
             )
-            for child in list(store.children_of(node)):
-                report.gc_delta.delete(
-                    store.type_of(node), store.type_of(child), node, child
-                )
 
     # Apply Δ'V and drop the condemned nodes from every structure.
     store.apply(report.gc_delta)
     if condemned:
-        report.removed_nodes = [n for n in reversed(lr) if n in condemned]
-        topo.remove_many(report.removed_nodes)
-        for node in report.removed_nodes:
+        report.removed_nodes = condemned
+        topo.remove_many(condemned)
+        t0 = time.perf_counter()
+        for node in condemned:
             reach.drop_node(node)
+        report.m_seconds += time.perf_counter() - t0
+        for node in condemned:
             store.remove_node(node)
+    if snapshot is not None:
+        report.pair_delta = reach.diff(snapshot)
     return report

@@ -50,7 +50,9 @@ from repro.core.dag_eval import DagXPathEvaluator, EvalResult
 from repro.core.maintenance import (
     DeleteMaintenance,
     InsertMaintenance,
+    PairDelta,
     insert_pairs,
+    net_pair_deltas,
     maintain_delete,
     maintain_insert,
     place_new_nodes,
@@ -350,6 +352,7 @@ class UpdatePlan:
                     edges=edge_records,
                     deferred=updater._session is not None,
                     reason=self.op.kind,
+                    closure=updater._last_pair_delta,
                 ))
         return outcome
 
@@ -390,10 +393,17 @@ class XMLViewUpdater:
         When True, rejections raise; when False they return an
         unaccepted :class:`UpdateOutcome` (benchmarks use False).
     index_backend:
-        Reachability-index engine for ``M``: ``'bitset'`` (int bitmask
-        rows), ``'sets'`` (the reference dict-of-set matrix) or
-        ``'auto'`` (default; resolves to the fastest backend, see
-        :mod:`repro.index`).
+        Reachability-index engine for ``M``: ``'matrix'`` (NumPy bit
+        matrix), ``'bitset'`` (int bitmask rows), ``'sets'`` (the
+        reference dict-of-set matrix) or ``'auto'`` (default; resolves
+        to the fastest available backend, see :mod:`repro.index`).
+    capture_closure_deltas:
+        Whether each Δ(M,L) repair also captures its exact closure
+        pair-delta (snapshot + bulk :meth:`~repro.index.ReachabilityIndex.diff`)
+        and attaches it to the commit event — ``True``, ``False``, or
+        ``'auto'`` (default: capture only while a registered consumer —
+        a leading-``//`` subscription — can use it, tracked by
+        :attr:`closure_consumers`).
     """
 
     def __init__(
@@ -406,6 +416,7 @@ class XMLViewUpdater:
         verify_each_update: bool = False,
         rng: random.Random | None = None,
         index_backend: str = "auto",
+        capture_closure_deltas: bool | str = "auto",
     ):
         self.atg = atg
         self.db = db
@@ -425,6 +436,20 @@ class XMLViewUpdater:
         self.last_maintenance: InsertMaintenance | DeleteMaintenance | None = None
         self.maintenance_runs = 0
         """Number of Δ(M,L) repair passes run (batching amortizes them)."""
+        self.m_repair_seconds = 0.0
+        """Cumulative wall time of the ``ΔM`` (reachability-index) share
+        of maintenance — the backend-ablation benchmarks read this to
+        compare index engines without the backend-invariant ``L``/store
+        surgery diluting the signal."""
+        self.capture_closure_deltas = capture_closure_deltas
+        self.closure_consumers = 0
+        """Number of registered consumers of closure pair-deltas
+        (leading-``//`` subscriptions bump this via the registry); under
+        ``capture_closure_deltas='auto'`` capture runs iff positive."""
+        self._last_pair_delta: PairDelta | None = None
+        """The netted closure pair-delta of the most recent
+        :meth:`_maintain` run (``None`` when capture was off); the plan
+        commit attaches it to the emitted :class:`ViewEvent`."""
         self._session: UpdateSession | None = None
         self._outstanding_plan: UpdatePlan | None = None
         self._version = 0
@@ -803,6 +828,7 @@ class XMLViewUpdater:
         to a session.
         """
         if self._session is not None:
+            self._last_pair_delta = None  # M untouched until the flush
             for subtree, targets in inserts:
                 self._session.defer_insert(subtree, targets)
             if delete_feed is not None:
@@ -813,18 +839,35 @@ class XMLViewUpdater:
                 )
                 self._session.defer_delete(list(targets))
             return []
+        capture = self._capturing_pairs()
+        deltas: list[PairDelta] = []
         delete_reports: list[DeleteMaintenance] = []
         for subtree, targets in inserts:
             self.last_maintenance = maintain_insert(
-                self.store, self.topo, self.reach, subtree, targets
+                self.store, self.topo, self.reach, subtree, targets,
+                capture_pairs=capture,
             )
+            self.m_repair_seconds += self.last_maintenance.m_seconds
+            if self.last_maintenance.pair_delta is not None:
+                deltas.append(self.last_maintenance.pair_delta)
         if delete_feed is not None:
             self.last_maintenance = maintain_delete(
-                self.store, self.topo, self.reach, delete_feed
+                self.store, self.topo, self.reach, delete_feed,
+                capture_pairs=capture,
             )
+            self.m_repair_seconds += self.last_maintenance.m_seconds
+            if self.last_maintenance.pair_delta is not None:
+                deltas.append(self.last_maintenance.pair_delta)
             delete_reports.append(self.last_maintenance)
         self.maintenance_runs += 1
+        self._last_pair_delta = net_pair_deltas(deltas) if capture else None
         return delete_reports
+
+    def _capturing_pairs(self) -> bool:
+        """Whether Δ(M,L) repairs should capture closure pair-deltas."""
+        if self.capture_closure_deltas == "auto":
+            return self.closure_consumers > 0
+        return bool(self.capture_closure_deltas)
 
     def _evaluator(self) -> DagXPathEvaluator:
         """An evaluator for the current state.
@@ -1111,12 +1154,16 @@ class UpdateSession:
         )
         self.report = report
         updater = self.updater
+        snapshot = (
+            updater.reach.copy() if updater._capturing_pairs() else None
+        )
         start = time.perf_counter()
         dm: DeleteMaintenance | None = None
         for subtree, targets in self._pending_inserts:
             report.added_pairs += insert_pairs(
                 updater.store, updater.topo, updater.reach, subtree, targets
             )
+        updater.m_repair_seconds += time.perf_counter() - start
         if self._pending_deletes:
             dm = maintain_delete(
                 updater.store,
@@ -1124,6 +1171,7 @@ class UpdateSession:
                 updater.reach,
                 sorted(set(self._pending_deletes)),
             )
+            updater.m_repair_seconds += dm.m_seconds
             report.removed_pairs = dm.removed_pairs
             report.removed_nodes = dm.removed_nodes
             report.gc_delta = dm.gc_delta
@@ -1133,6 +1181,9 @@ class UpdateSession:
         updater.maintenance_runs += 1
         updater._version += 1
         report.seconds = time.perf_counter() - start
+        updater._last_pair_delta = (
+            updater.reach.diff(snapshot) if snapshot is not None else None
+        )
         updater._post_verify()
         if updater._observers:
             # The flush event releases the per-op events buffered during
@@ -1148,5 +1199,6 @@ class UpdateSession:
                 generation=updater._version,
                 edges=records,
                 reason="batch_flush",
+                closure=updater._last_pair_delta,
             ))
         return report

@@ -2,18 +2,23 @@
 
 The index subsystem decouples *what* ``M`` answers (ancestor /
 descendant queries, Algorithm Reach, the Δ(M,L) bulk maintenance steps)
-from *how* it is stored.  Two interchangeable backends ship:
+from *how* it is stored.  Three interchangeable backends ship:
 
 ==========  ==================================================  =========
 name        representation                                      role
 ==========  ==================================================  =========
 ``sets``    dict of ``set[int]`` rows (the original matrix)     oracle
 ``bitset``  dict of ``int`` bitmask rows over dense node ids    fast path
+``matrix``  dense NumPy ``uint64`` bit matrix                   fastest
 ==========  ==================================================  =========
 
-``"auto"`` resolves to the fastest backend for the store at hand —
-currently always ``bitset``, since view-store node ids are dense
-integers by construction.
+``matrix`` needs NumPy, which is an optional extra (``pip install
+repro[fast]``); it is registered only when NumPy imports.  ``"auto"``
+resolves to the fastest available backend — ``matrix`` when NumPy is
+importable, else ``bitset`` — and can be overridden with the
+``REPRO_INDEX_BACKEND`` environment variable.  Asking for ``matrix``
+explicitly without NumPy raises
+:class:`~repro.errors.MissingDependencyError`.
 
 Use :func:`make_index` for an empty index, :func:`build_index` to run
 Algorithm Reach over a store, and :data:`BACKENDS` to enumerate what is
@@ -22,9 +27,10 @@ available (the cross-backend equivalence tests iterate it).
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING
 
-from repro.errors import ReproError
+from repro.errors import MissingDependencyError, ReproError
 from repro.index.base import ReachabilityIndex
 from repro.index.bitset import BitsetReachabilityIndex
 from repro.index.sets import SetReachabilityIndex
@@ -39,20 +45,52 @@ BACKENDS: dict[str, type[ReachabilityIndex]] = {
     BitsetReachabilityIndex.backend: BitsetReachabilityIndex,
 }
 
-#: What ``"auto"`` resolves to.  Node ids are dense integers, so the
-#: bitset backend wins on every workload we measure (see
-#: ``benchmarks/test_index_backends.py``).
-AUTO_BACKEND = BitsetReachabilityIndex.backend
+try:  # NumPy is optional: register the matrix backend only if it imports.
+    from repro.index.matrix import MatrixReachabilityIndex
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI leg
+    MatrixReachabilityIndex = None  # type: ignore[assignment, misc]
+else:
+    BACKENDS[MatrixReachabilityIndex.backend] = MatrixReachabilityIndex
+
+#: Environment variable that overrides what ``"auto"`` resolves to.
+ENV_BACKEND = "REPRO_INDEX_BACKEND"
+
+#: What ``"auto"`` resolves to (absent an environment override): the
+#: dense NumPy matrix when available, else the big-int bitset — node ids
+#: are dense integers, so both beat the sets oracle on every workload we
+#: measure (see ``benchmarks/test_ablation_index_backends.py``).
+AUTO_BACKEND = (
+    "matrix" if "matrix" in BACKENDS else BitsetReachabilityIndex.backend
+)
 
 
 def resolve_backend(backend: str) -> str:
-    """Normalize a backend name; ``"auto"`` picks the default fast path."""
+    """Normalize a backend name; ``"auto"`` picks the default fast path.
+
+    ``"auto"`` honors the ``REPRO_INDEX_BACKEND`` environment variable
+    when it is set (and not itself ``auto``); explicit names always win
+    over the environment.
+    """
+    source = ""
     if backend == "auto":
-        return AUTO_BACKEND
+        env = os.environ.get(ENV_BACKEND, "").strip()
+        if env and env != "auto":
+            backend = env
+            source = f" (from ${ENV_BACKEND})"
+        else:
+            return AUTO_BACKEND
     if backend not in BACKENDS:
+        if backend == "matrix":
+            raise MissingDependencyError(
+                f"reachability-index backend 'matrix'{source} requires "
+                "NumPy, which is not installed; install the optional "
+                "extra (pip install repro[fast]) or use "
+                "index_backend='auto' to fall back to 'bitset'"
+            )
         known = ", ".join(sorted(BACKENDS) + ["auto"])
         raise ReproError(
-            f"unknown reachability-index backend {backend!r} (known: {known})"
+            f"unknown reachability-index backend {backend!r}{source} "
+            f"(known: {known})"
         )
     return backend
 
@@ -75,6 +113,8 @@ __all__ = [
     "AUTO_BACKEND",
     "BACKENDS",
     "BitsetReachabilityIndex",
+    "ENV_BACKEND",
+    "MatrixReachabilityIndex",
     "ReachabilityIndex",
     "SetReachabilityIndex",
     "build_index",

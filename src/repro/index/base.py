@@ -160,6 +160,39 @@ class ReachabilityIndex(ABC):
         number of pairs removed.
         """
 
+    def retain_sweep(
+        self, store: "ViewStore", lr: list[int], root_id: int | None
+    ) -> tuple[int, list[int]]:
+        """The full ancestor-recomputation sweep of Δ(M,L)delete.
+
+        ``lr`` is the affected region in topological order (descendants
+        first); the sweep walks it ancestors-first, recomputing each
+        node's ancestor row from its surviving parents and condemning
+        nodes left with no surviving parent (``keep := false``).  The
+        store must not be mutated while the sweep runs — callers apply
+        the garbage-collection feed afterwards.
+
+        Returns ``(removed_pairs, condemned)`` with ``condemned`` in
+        ancestors-first order.  Backends may override this with a bulk
+        implementation; the default is the per-node loop over
+        :meth:`retain_ancestors`.
+        """
+        removed = 0
+        condemned: set[int] = set()
+        order: list[int] = []
+        for node in reversed(lr):  # ancestors first
+            parents = store.parents_of(node)
+            surviving = (
+                [p for p in parents if p not in condemned]
+                if condemned
+                else parents
+            )
+            removed += self.retain_ancestors(node, surviving)
+            if not surviving and node != root_id:
+                condemned.add(node)
+                order.append(node)
+        return removed, order
+
     # -- management -----------------------------------------------------------------
 
     @abstractmethod
@@ -171,6 +204,21 @@ class ReachabilityIndex(ABC):
         return len(self) == len(other) and set(self.pairs()) == set(
             other.pairs()
         )
+
+    def diff(
+        self, other: "ReachabilityIndex"
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """Pair delta ``self − other`` as ``(added, removed)``.
+
+        ``other`` is typically a :meth:`copy` snapshot taken before a
+        repair, so ``added`` are the pairs the repair set and
+        ``removed`` the pairs it cleared.  Both lists are sorted for
+        determinism.  Backends with a physical bit representation
+        override this with a bulk XOR.
+        """
+        mine = set(self.pairs())
+        theirs = set(other.pairs())
+        return sorted(mine - theirs), sorted(theirs - mine)
 
     def check_invariants(self) -> list[str]:
         """Internal-consistency report (empty list = healthy).

@@ -24,44 +24,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+from repro.index._bits import MaskView, iter_bits, mask_of
 from repro.index.base import ReachabilityIndex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.topo import TopoOrder
     from repro.views.store import ViewStore
 
-
-def _iter_bits(mask: int) -> Iterator[int]:
-    """Indices of the set bits of ``mask``, ascending."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
-
-
-def _mask_of(nodes: Iterable[int]) -> int:
-    mask = 0
-    for node in nodes:
-        mask |= 1 << node
-    return mask
-
-
-class _MaskView:
-    """Read-only set-like membership view over a bitmask row."""
-
-    __slots__ = ("_mask",)
-
-    def __init__(self, mask: int):
-        self._mask = mask
-
-    def __contains__(self, node: int) -> bool:
-        return bool(self._mask >> node & 1)
-
-    def __iter__(self) -> Iterator[int]:
-        return _iter_bits(self._mask)
-
-    def __len__(self) -> int:
-        return self._mask.bit_count()
+# Shared with the matrix backend (see repro.index._bits); the old private
+# names are kept for in-module readability.
+_iter_bits = iter_bits
+_mask_of = mask_of
+_MaskView = MaskView
 
 
 class BitsetReachabilityIndex(ReachabilityIndex):
@@ -304,6 +278,29 @@ class BitsetReachabilityIndex(ReachabilityIndex):
             # are canonical.
             return self._anc == other._anc
         return super().equals(other)
+
+    def diff(
+        self, other: ReachabilityIndex
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        if not isinstance(other, BitsetReachabilityIndex):
+            return super().diff(other)
+        added: list[tuple[int, int]] = []
+        removed: list[tuple[int, int]] = []
+        mine_rows = self._anc
+        their_rows = other._anc
+        for node in mine_rows.keys() | their_rows.keys():
+            mine = mine_rows.get(node, 0)
+            theirs = their_rows.get(node, 0)
+            changed = mine ^ theirs
+            if not changed:
+                continue
+            for anc in _iter_bits(changed & mine):
+                added.append((anc, node))
+            for anc in _iter_bits(changed & theirs):
+                removed.append((anc, node))
+        added.sort()
+        removed.sort()
+        return added, removed
 
     def _desc_keys(self) -> set[int]:
         return set(self._desc)

@@ -1,0 +1,658 @@
+"""The NumPy bit-matrix reachability backend.
+
+``M`` is stored as a dense ``uint64`` row matrix of shape
+``cap × cap/64`` over the store's dense node ids: bit ``a`` of row ``d``
+of the ancestor matrix means "``a`` is a proper ancestor of ``d``", and
+the descendant mirror is the transpose kept materialized for O(row)
+queries in both directions.  Capacity grows geometrically as the
+interner hands out new ids; dropped rows are zeroed so id reuse after a
+rollback (:meth:`~repro.views.store.ViewStore.release_ids`) is safe.
+
+What the bitset backend does one Python big-int at a time, this backend
+does as whole-matrix array reductions:
+
+- ``recompute`` (Algorithm Reach) extracts the edge list once, strata
+  nodes by topological level (one Kahn pass serves both directions:
+  ancestor waves are keyed by the child's level, descendant waves by
+  the negated parent's), and runs a stratified dynamic program
+  (``_dp_plan`` / ``_apply_dp``): per stratum, edges are grouped by
+  child and their parent rows ORed in — plain fancy ``|=`` for nodes
+  with one or two in-edges, ``np.bitwise_or.reduceat`` for the rest —
+  seeded reflexively so a node's row is ready the moment its level
+  completes, with the self bits stripped at the end;
+- the Δ(M,L)insert steps (``extend_ancestors``, ``add_cross_pairs``,
+  ``add_anc_closure_pairs``) are broadcast ORs over row slices;
+- the Δ(M,L)delete sweep (``retain_sweep``) classifies survivors and
+  condemned in one ancestors-first pass, then rebuilds all surviving
+  rows with the same level-grouped DP over the surviving edges and
+  repacks the descendant mirror for the touched columns in one
+  transpose step (``_clear_mirror``);
+- ``copy`` is an array copy and ``diff`` a whole-matrix XOR that
+  unpacks only the changed words (two-level ``nonzero``), which is
+  what feeds closure pair-deltas to the subscription engine.
+
+NumPy is an optional dependency (``pip install repro[fast]``); importing
+this module without it raises ``ImportError``, which the registry in
+:mod:`repro.index` converts into a typed, actionable error.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from repro.index._bits import MaskView
+from repro.index.base import ReachabilityIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.topo import TopoOrder
+    from repro.views.store import ViewStore
+
+_ONE = np.uint64(1)
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def _count_bits(arr: np.ndarray) -> int:
+        """Total number of set bits in ``arr``."""
+        return int(np.bitwise_count(arr).sum())
+
+else:  # pragma: no cover - exercised only on NumPy 1.x
+    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+    def _count_bits(arr: np.ndarray) -> int:
+        """Total number of set bits in ``arr`` (byte-table fallback)."""
+        if arr.size == 0:
+            return 0
+        return int(_POP8[np.ascontiguousarray(arr).view(np.uint8)].sum())
+
+
+def _le_bytes(arr: np.ndarray) -> np.ndarray:
+    """``arr`` as a flat little-endian byte view (copy only if needed)."""
+    return np.ascontiguousarray(arr).astype("<u8", copy=False).view(np.uint8)
+
+
+def _bit_indices(row: np.ndarray) -> np.ndarray:
+    """Ascending indices of the set bits of a 1-d word row."""
+    return np.nonzero(np.unpackbits(_le_bytes(row), bitorder="little"))[0]
+
+
+def _row_to_set(row: np.ndarray) -> set[int]:
+    return set(_bit_indices(row).tolist())
+
+
+def _row_to_int(row: np.ndarray) -> int:
+    return int.from_bytes(_le_bytes(row).tobytes(), "little")
+
+
+def _pad_row(row: np.ndarray, width: int) -> np.ndarray:
+    """Zero-extend a 1-d word row to ``width`` words."""
+    if row.shape[0] >= width:
+        return row
+    out = np.zeros(width, dtype=np.uint64)
+    out[: row.shape[0]] = row
+    return out
+
+
+def _or_bits_into(row: np.ndarray, nodes: np.ndarray) -> None:
+    """Set bit ``n`` of ``row`` for every ``n`` in ``nodes``.
+
+    Uses ``np.bitwise_or.at`` because several nodes may share a word —
+    a plain fancy ``|=`` would drop all but one of them.
+    """
+    np.bitwise_or.at(row, nodes >> 6, _ONE << (nodes & 63).astype(np.uint64))
+
+
+def _levels(cap: int, par: np.ndarray, chd: np.ndarray) -> np.ndarray:
+    """Longest-path level per node (Kahn waves on int arrays only)."""
+    level = np.zeros(cap, dtype=np.int64)
+    if len(par) == 0:
+        return level
+    order = np.argsort(par)
+    chd_o = chd[order]
+    out_ptr = np.searchsorted(par[order], np.arange(cap + 1))
+    indeg = np.bincount(chd, minlength=cap)
+    frontier = np.nonzero(indeg == 0)[0]
+    waiting = indeg > 0
+    depth = 0
+    while frontier.size:
+        level[frontier] = depth
+        cnt = out_ptr[frontier + 1] - out_ptr[frontier]
+        has = cnt > 0
+        if not has.any():
+            break
+        nodes, fc = frontier[has], cnt[has]
+        gather = (
+            np.arange(int(fc.sum()))
+            - np.repeat(np.cumsum(fc) - fc, fc)
+            + np.repeat(out_ptr[nodes], fc)
+        )
+        indeg -= np.bincount(chd_o[gather], minlength=cap)
+        frontier = np.nonzero(waiting & (indeg == 0))[0]
+        waiting[frontier] = False
+        depth += 1
+    return level
+
+
+def _self_bits(cap: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ids, word index, bit mask) for the diagonal of a ``cap`` matrix."""
+    ids = np.arange(cap, dtype=np.int64)
+    return ids, ids >> 6, _ONE << (ids & 63).astype(np.uint64)
+
+
+def _dp_plan(
+    par: np.ndarray, chd: np.ndarray, strata: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, list[tuple[int, int, int]]]:
+    """Partition DP edges into contiguous ``(start, end, slot)`` blocks.
+
+    Edges are sorted by ``(stratum, parent-slot, child)`` where the
+    stratum of an edge must be strictly greater than the stratum of
+    every edge feeding its parent (longest-path levels qualify).  Slot
+    is the parent's rank within the child's edge group clipped to 2:
+    slots 0 and 1 hold at most one edge per child (a plain fancy ``|=``
+    folds them — almost every node has ≤ 2 parents), slot 2 collects
+    the high-degree rest for a per-child ``reduceat``.
+    """
+    # A child's edges all share one stratum (strata is a function of
+    # the child in both closure directions), so grouping by child alone
+    # groups by (stratum, child); composite integer keys replace the
+    # multi-key lexsorts.
+    order = np.argsort(chd)
+    par_s, chd_s = par[order], chd[order]
+    st_s = strata[order]
+    gfirst = np.r_[True, chd_s[1:] != chd_s[:-1]]
+    gstart = np.nonzero(gfirst)[0]
+    gcount = np.diff(np.r_[gstart, len(chd_s)])
+    rank = np.arange(len(chd_s)) - np.repeat(gstart, gcount)
+    slot = np.minimum(rank, 2)
+    span = int(chd_s.max()) + 1 if len(chd_s) else 1
+    base = st_s - int(st_s.min()) if len(st_s) else st_s
+    order2 = np.argsort((base * 3 + slot) * span + chd_s, kind="stable")
+    pp, cc = par_s[order2], chd_s[order2]
+    ss, sc = st_s[order2], slot[order2]
+    bstart = np.nonzero(
+        np.r_[True, (ss[1:] != ss[:-1]) | (sc[1:] != sc[:-1])]
+    )[0]
+    bend = np.r_[bstart[1:], len(cc)]
+    blocks = list(zip(bstart.tolist(), bend.tolist(), sc[bstart].tolist()))
+    return pp, cc, blocks
+
+
+def _apply_dp(
+    rows: np.ndarray,
+    pp: np.ndarray,
+    cc: np.ndarray,
+    blocks: list[tuple[int, int, int]],
+) -> None:
+    """Run a ``_dp_plan`` over *reflexive* rows (``rows[c] |= rows[p]``)."""
+    for s, e, slot in blocks:
+        if slot < 2:
+            rows[cc[s:e]] |= rows[pp[s:e]]
+        else:
+            gcc = cc[s:e]
+            gs = np.nonzero(np.r_[True, gcc[1:] != gcc[:-1]])[0]
+            red = np.bitwise_or.reduceat(rows[pp[s:e]], gs, axis=0)
+            rows[gcc[gs]] |= red
+
+
+def _closure(
+    cap: int, width: int, par: np.ndarray, chd: np.ndarray, strata: np.ndarray
+) -> np.ndarray:
+    """Transitive-closure rows of a DAG given by edges ``par[i]→chd[i]``.
+
+    Returns a ``cap × width`` matrix where row ``c`` has bit ``p`` set
+    iff ``p`` properly reaches ``c``.  ``strata`` assigns each edge a
+    processing stage (see :func:`_dp_plan`); the sweep works on
+    *reflexive* rows (every row seeded with its own bit, stripped at
+    the end) so a parent's row carries the parent bit for free.
+    """
+    rows = np.zeros((cap, width), dtype=np.uint64)
+    if len(par) == 0:
+        return rows
+    pp, cc, blocks = _dp_plan(par, chd, strata)
+    ids, words, bits = _self_bits(cap)
+    rows[ids, words] = bits  # reflexive seed
+    _apply_dp(rows, pp, cc, blocks)
+    rows[ids, words] &= ~bits  # strip the reflexive seed
+    return rows
+
+
+class MatrixReachabilityIndex(ReachabilityIndex):
+    """Reachability matrix as a dense NumPy ``uint64`` bit matrix."""
+
+    backend = "matrix"
+
+    __slots__ = ("_anc", "_desc", "_pairs")
+
+    def __init__(self) -> None:
+        self._anc = np.zeros((0, 0), dtype=np.uint64)
+        self._desc = np.zeros((0, 0), dtype=np.uint64)
+        self._pairs = 0
+
+    # -- capacity -----------------------------------------------------------------
+
+    @property
+    def _cap(self) -> int:
+        return self._anc.shape[0]
+
+    def _ensure(self, upto: int) -> None:
+        """Grow both matrices to hold node ids ``< upto``."""
+        cap = self._anc.shape[0]
+        if upto <= cap:
+            return
+        new_cap = max(64, cap * 2, -(-upto // 64) * 64)
+        width = new_cap >> 6
+        for name in ("_anc", "_desc"):
+            old = getattr(self, name)
+            grown = np.zeros((new_cap, width), dtype=np.uint64)
+            if old.size:
+                grown[: old.shape[0], : old.shape[1]] = old
+            setattr(self, name, grown)
+
+    # -- queries ------------------------------------------------------------------
+
+    def anc(self, node: int) -> set[int]:
+        """Proper ancestors of ``node`` (excludes the node itself)."""
+        if node >= self._cap:
+            return set()
+        return _row_to_set(self._anc[node])
+
+    def desc(self, node: int) -> set[int]:
+        """Proper descendants of ``node`` (excludes the node itself)."""
+        if node >= self._cap:
+            return set()
+        return _row_to_set(self._desc[node])
+
+    def is_ancestor(self, a: int, d: int) -> bool:
+        if a >= self._cap or d >= self._cap:
+            return False
+        return bool(int(self._anc[d, a >> 6]) >> (a & 63) & 1)
+
+    def desc_view(self, node: int) -> MaskView:
+        if node >= self._cap:
+            return MaskView(0)
+        return MaskView(_row_to_int(self._desc[node]))
+
+    def __len__(self) -> int:
+        return self._pairs
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        if not self._anc.size:
+            return
+        for d in np.nonzero(self._anc.any(axis=1))[0].tolist():
+            for a in _bit_indices(self._anc[d]).tolist():
+                yield (a, d)
+
+    def _rows_union(self, rows: np.ndarray, nodes: Iterable[int]) -> set[int]:
+        cap = rows.shape[0]
+        idx = np.fromiter((n for n in nodes if n < cap), dtype=np.int64)
+        if idx.size == 0:
+            return set()
+        return _row_to_set(np.bitwise_or.reduce(rows[idx], axis=0))
+
+    def anc_of_set(self, nodes: Iterable[int]) -> set[int]:
+        return self._rows_union(self._anc, nodes)
+
+    def desc_of_set(self, nodes: Iterable[int]) -> set[int]:
+        return self._rows_union(self._desc, nodes)
+
+    # -- point mutation -----------------------------------------------------------
+
+    def insert(self, anc: int, desc: int) -> bool:
+        self._ensure(max(anc, desc) + 1)
+        word, bit = anc >> 6, np.uint64(1 << (anc & 63))
+        if int(self._anc[desc, word]) & int(bit):
+            return False
+        self._anc[desc, word] |= bit
+        self._desc[anc, desc >> 6] |= np.uint64(1 << (desc & 63))
+        self._pairs += 1
+        return True
+
+    def remove(self, anc: int, desc: int) -> bool:
+        if max(anc, desc) >= self._cap:
+            return False
+        word, bit = anc >> 6, np.uint64(1 << (anc & 63))
+        if not int(self._anc[desc, word]) & int(bit):
+            return False
+        self._anc[desc, word] &= ~bit
+        self._desc[anc, desc >> 6] &= ~np.uint64(1 << (desc & 63))
+        self._pairs -= 1
+        return True
+
+    def set_ancestors(self, node: int, ancestors: set[int]) -> None:
+        top = max(ancestors, default=0)
+        self._ensure(max(node, top) + 1)
+        new = np.zeros(self._anc.shape[1], dtype=np.uint64)
+        if ancestors:
+            _or_bits_into(new, np.fromiter(ancestors, dtype=np.int64))
+        old = self._anc[node].copy()
+        added, removed = new & ~old, old & ~new
+        word, bit = node >> 6, np.uint64(1 << (node & 63))
+        if added.any():
+            self._desc[_bit_indices(added), word] |= bit
+        if removed.any():
+            self._desc[_bit_indices(removed), word] &= ~bit
+        self._pairs += _count_bits(added) - _count_bits(removed)
+        self._anc[node] = new
+
+    def drop_node(self, node: int) -> None:
+        if node >= self._cap:
+            return
+        anc_row = self._anc[node].copy()
+        desc_row = self._desc[node].copy()
+        self._anc[node] = 0
+        self._desc[node] = 0
+        word, bit = node >> 6, np.uint64(1 << (node & 63))
+        if anc_row.any():
+            self._desc[_bit_indices(anc_row), word] &= ~bit
+        if desc_row.any():
+            self._anc[_bit_indices(desc_row), word] &= ~bit
+        # A self-pair (node, node) sits in both rows: count it once.
+        self_pair = int(anc_row[word]) >> (node & 63) & 1
+        self._pairs -= _count_bits(anc_row) + _count_bits(desc_row) - self_pair
+
+    def clear(self) -> None:
+        self._anc.fill(0)
+        self._desc.fill(0)
+        self._pairs = 0
+
+    # -- bulk operations ------------------------------------------------------------
+
+    def recompute(self, store: "ViewStore", topo: "TopoOrder") -> None:
+        n = max(store.nodes(), default=-1) + 1
+        cap = max(64, -(-n // 64) * 64) if n else 0
+        width = cap >> 6
+        flat = np.array(
+            list(
+                chain.from_iterable(
+                    chain.from_iterable(store.edges.values())
+                )
+            ),
+            dtype=np.int64,
+        )
+        par, chd = flat[0::2], flat[1::2]
+        if flat.size:
+            # One longest-path level pass serves both closures: every
+            # edge satisfies level[p] < level[c], so ascending child
+            # level stratifies the ancestor DP and *descending* parent
+            # level stratifies the mirror DP over the reversed edges.
+            level = _levels(cap, par, chd)
+            self._anc = _closure(cap, width, par, chd, level[chd])
+            self._desc = _closure(cap, width, chd, par, -level[par])
+        else:
+            self._anc = np.zeros((cap, width), dtype=np.uint64)
+            self._desc = np.zeros((cap, width), dtype=np.uint64)
+        self._pairs = _count_bits(self._anc)
+
+    def extend_ancestors(self, node: int, parents: Iterable[int]) -> int:
+        par = np.fromiter(parents, dtype=np.int64)
+        if par.size == 0:
+            return 0
+        self._ensure(max(node, int(par.max())) + 1)
+        new = np.bitwise_or.reduce(self._anc[par], axis=0)
+        _or_bits_into(new, par)
+        added = new & ~self._anc[node]
+        if not added.any():
+            return 0
+        count = _count_bits(added)
+        self._anc[node] |= new
+        self._desc[_bit_indices(added), node >> 6] |= np.uint64(
+            1 << (node & 63)
+        )
+        self._pairs += count
+        return count
+
+    def add_cross_pairs(
+        self, upper: Iterable[int], lower: Iterable[int]
+    ) -> int:
+        up = np.fromiter(upper, dtype=np.int64)
+        if up.size == 0:
+            return 0
+        self._ensure(int(up.max()) + 1)
+        upper_row = np.zeros(self._anc.shape[1], dtype=np.uint64)
+        _or_bits_into(upper_row, up)
+        return self._add_cross_row(upper_row, lower)
+
+    def add_anc_closure_pairs(
+        self, targets: Iterable[int], lower: Iterable[int]
+    ) -> int:
+        tgt = np.fromiter(targets, dtype=np.int64)
+        if tgt.size == 0:
+            return 0
+        self._ensure(int(tgt.max()) + 1)
+        upper_row = np.bitwise_or.reduce(self._anc[tgt], axis=0)
+        _or_bits_into(upper_row, tgt)
+        return self._add_cross_row(upper_row, lower)
+
+    def _add_cross_row(
+        self, upper_row: np.ndarray, lower: Iterable[int]
+    ) -> int:
+        low = np.unique(np.fromiter(lower, dtype=np.int64))
+        if low.size == 0 or not upper_row.any():
+            return 0
+        self._ensure(int(low.max()) + 1)
+        upper_row = _pad_row(upper_row, self._anc.shape[1])
+        sub = self._anc[low]
+        added = _count_bits(upper_row & ~sub)
+        if not added:
+            return 0
+        self._anc[low] = sub | upper_row
+        # The mirror OR is idempotent (bits already present were
+        # mirror-consistent), so blanket-OR the lower bits into every
+        # upper row of the descendant matrix.
+        lower_row = np.zeros(self._anc.shape[1], dtype=np.uint64)
+        _or_bits_into(lower_row, low)
+        self._desc[_bit_indices(upper_row)] |= lower_row
+        self._pairs += added
+        return added
+
+    def retain_ancestors(self, node: int, parents: Iterable[int]) -> int:
+        if node >= self._cap:
+            return 0
+        old = self._anc[node].copy()
+        if not old.any():
+            return 0
+        par = np.fromiter(parents, dtype=np.int64)
+        if par.size:
+            self._ensure(int(par.max()) + 1)
+            old = _pad_row(old, self._anc.shape[1])
+            keep = np.bitwise_or.reduce(self._anc[par], axis=0)
+            _or_bits_into(keep, par)
+        else:
+            keep = np.zeros(old.shape[0], dtype=np.uint64)
+        removed = old & ~keep
+        count = _count_bits(removed)
+        if not count:
+            return 0
+        self._anc[node] = old & keep
+        self._desc[_bit_indices(removed), node >> 6] &= ~np.uint64(
+            1 << (node & 63)
+        )
+        self._pairs -= count
+        return count
+
+    def retain_sweep(
+        self, store: "ViewStore", lr: list[int], root_id: int | None
+    ) -> tuple[int, list[int]]:
+        k = len(lr)
+        if k == 0:
+            return 0, []
+        self._ensure(max(lr) + 1)
+        local = {node: i for i, node in enumerate(lr)}
+
+        # One ancestors-first Python pass (``reversed(lr)`` puts every
+        # in-region parent before its children) computes the paper's
+        # ``keep`` flag, the condemned list, and the surviving edges
+        # grouped by DP level — no fixpoint needed.
+        alive = [False] * k
+        lvl = [0] * k
+        condemned: list[int] = []
+        in_lv: list[int] = []  # surviving in-region edges, by child level
+        in_p: list[int] = []
+        in_c: list[int] = []
+        out_p: list[int] = []  # out-region parent edges: global p, local c
+        out_c: list[int] = []
+        for node in reversed(lr):
+            i = local[node]
+            keep = node == root_id
+            survivors: list[int] = []
+            for p in store.parents_of(node):
+                j = local.get(p)
+                if j is None:  # out-region parents are never condemned
+                    out_p.append(p)
+                    out_c.append(i)
+                    keep = True
+                elif alive[j]:
+                    survivors.append(j)
+                    keep = True
+            if not keep:
+                condemned.append(node)
+                continue
+            alive[i] = True
+            if survivors:
+                depth = 1 + max(lvl[j] for j in survivors)
+                lvl[i] = depth
+                in_lv.extend([depth] * len(survivors))
+                in_p.extend(survivors)
+                in_c.extend([i] * len(survivors))
+
+        # Level-grouped DP over the surviving edges, each edge exactly
+        # once.  Work rows are *reflexive* (alive nodes carry their own
+        # global bit) so a parent row contributes the parent pair for
+        # free; surviving edges all predate the delete, which keeps
+        # every contribution inside the old closure automatically — one
+        # defensive clamp at the end is enough.
+        region = np.fromiter(lr, dtype=np.int64, count=k)
+        anc = self._anc
+        old = anc[region]
+        work = np.zeros_like(old)
+        alive_idx = np.nonzero(np.array(alive, dtype=bool))[0]
+        ga = region[alive_idx]
+        work[alive_idx, ga >> 6] = _ONE << (ga & 63).astype(np.uint64)
+        if out_p:
+            op = np.array(out_p, dtype=np.int64)
+            oc = np.array(out_c, dtype=np.int64)
+            order = np.argsort(oc, kind="stable")
+            op, oc = op[order], oc[order]
+            starts = np.nonzero(np.r_[True, oc[1:] != oc[:-1]])[0]
+            contrib = anc[op]
+            contrib[np.arange(len(op)), op >> 6] |= _ONE << (
+                op & 63
+            ).astype(np.uint64)
+            work[oc[starts]] |= np.bitwise_or.reduceat(
+                contrib, starts, axis=0
+            )
+        if in_c:
+            pp, cc, blocks = _dp_plan(
+                np.array(in_p, dtype=np.int64),
+                np.array(in_c, dtype=np.int64),
+                np.array(in_lv, dtype=np.int64),
+            )
+            _apply_dp(work, pp, cc, blocks)
+        work[alive_idx, ga >> 6] &= ~(_ONE << (ga & 63).astype(np.uint64))
+        work &= old
+
+        removed = old & ~work
+        count = _count_bits(removed)
+        if count:
+            anc[region] = work
+            self._clear_mirror(region, removed)
+            self._pairs -= count
+        return count, condemned
+
+    def _clear_mirror(self, region: np.ndarray, removed: np.ndarray) -> None:
+        """Clear bit ``d`` of ``desc[a]`` for every removed pair.
+
+        ``removed`` is a ``len(region) × W`` slice of ancestor rows
+        (row ``i`` ↔ descendant ``region[i]``, bit ``a`` ↔ ancestor).
+        A per-pair scatter (``np.bitwise_and.at``) costs ~2µs/pair, so
+        transpose instead: unpack to a boolean (region × ancestors)
+        matrix, flip it, pack the region columns into clear-words per
+        affected ancestor, and apply with one fancy 2-d AND (rows and
+        columns are both unique, so the in-place op is safe).
+        """
+        flat = np.unpackbits(_le_bytes(removed), bitorder="little").reshape(
+            len(region), -1
+        )
+        affected = np.nonzero(flat.any(axis=0))[0]
+        wsort = np.argsort(region >> 6, kind="stable")
+        rs = region[wsort]
+        shifted = flat[:, affected].T[:, wsort].astype(np.uint64) << (
+            rs & 63
+        ).astype(np.uint64)
+        words = rs >> 6
+        wstarts = np.nonzero(np.r_[True, words[1:] != words[:-1]])[0]
+        packed = np.bitwise_or.reduceat(shifted, wstarts, axis=1)
+        self._desc[np.ix_(affected, words[wstarts])] &= ~packed
+
+    # -- management -----------------------------------------------------------------
+
+    def copy(self) -> "MatrixReachabilityIndex":
+        clone = MatrixReachabilityIndex()
+        clone._anc = self._anc.copy()
+        clone._desc = self._desc.copy()
+        clone._pairs = self._pairs
+        return clone
+
+    def equals(self, other: ReachabilityIndex) -> bool:
+        if isinstance(other, MatrixReachabilityIndex):
+            if self._pairs != other._pairs:
+                return False
+            a, b = self._anc, other._anc
+            n = min(a.shape[0], b.shape[0])
+            w = min(a.shape[1], b.shape[1])
+            if not np.array_equal(a[:n, :w], b[:n, :w]):
+                return False
+            for mat in (a, b):
+                if mat[n:].any() or mat[:, w:].any():
+                    return False
+            return True
+        return super().equals(other)
+
+    def diff(
+        self, other: ReachabilityIndex
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        if not isinstance(other, MatrixReachabilityIndex):
+            return super().diff(other)
+        a, b = self._anc, other._anc
+        n = max(a.shape[0], b.shape[0])
+        w = max(a.shape[1], b.shape[1])
+        if n == 0:
+            return [], []
+
+        def padded(mat: np.ndarray) -> np.ndarray:
+            if mat.shape == (n, w):
+                return mat
+            out = np.zeros((n, w), dtype=np.uint64)
+            out[: mat.shape[0], : mat.shape[1]] = mat
+            return out
+
+        pa, pb = padded(a), padded(b)
+        changed = np.nonzero((pa != pb).any(axis=1))[0]
+        if changed.size == 0:
+            return [], []
+
+        def extract(mat: np.ndarray) -> list[tuple[int, int]]:
+            # Two-level nonzero: find the set *words* first (dense scan
+            # over uint64), then unpack only those — orders of magnitude
+            # less bool traffic than unpacking every changed row.
+            wrow, wcol = np.nonzero(mat)
+            if wrow.size == 0:
+                return []
+            flat = np.unpackbits(
+                _le_bytes(mat[wrow, wcol]), bitorder="little"
+            ).reshape(wrow.size, 64)
+            widx, bit = np.nonzero(flat)
+            anc = wcol[widx] * 64 + bit
+            dsc = changed[wrow[widx]]
+            order = np.lexsort((dsc, anc))
+            return list(zip(anc[order].tolist(), dsc[order].tolist()))
+
+        xor = pa[changed] ^ pb[changed]
+        return extract(xor & pa[changed]), extract(xor & pb[changed])
+
+    def _desc_keys(self) -> set[int]:
+        if not self._desc.size:
+            return set()
+        return set(np.nonzero(self._desc.any(axis=1))[0].tolist())

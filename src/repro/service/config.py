@@ -28,8 +28,10 @@ class ViewConfig:
     Attributes
     ----------
     index_backend:
-        Reachability-index engine for ``M``: ``'auto'`` (default),
-        ``'bitset'`` or ``'sets'`` (see :mod:`repro.index`).
+        Reachability-index engine for ``M``: ``'auto'`` (default:
+        the NumPy ``'matrix'`` backend when NumPy is importable, else
+        ``'bitset'``), ``'matrix'``, ``'bitset'`` or ``'sets'`` (see
+        :mod:`repro.index` and ``docs/index-backends.md``).
     side_effects:
         ``'abort'`` (default) rejects updates with XML side effects;
         ``'propagate'`` applies them at every occurrence (the paper's
@@ -56,6 +58,12 @@ class ViewConfig:
         re-evaluation) instead of scanned pattern-by-pattern.  ``None``
         uses the measured default
         (:data:`repro.subscribe.engine.DEFAULT_COARSE_THRESHOLD`).
+    capture_closure_deltas:
+        Whether Δ(M,L) repairs capture the exact closure pair-delta of
+        ``M`` (snapshot + bulk diff; feeds leading-``//`` subscription
+        patches — see ``docs/index-backends.md``).  ``'auto'``
+        (default) captures only while such a subscription is live;
+        ``True``/``False`` force it on or off.
     """
 
     index_backend: str = "auto"
@@ -66,6 +74,7 @@ class ViewConfig:
     seed: int = DEFAULT_SEED
     changefeed_retention: int = DEFAULT_RETENTION
     coarse_event_threshold: int | None = None
+    capture_closure_deltas: bool | str = "auto"
 
     def __post_init__(self):
         resolve_backend(self.index_backend)  # raises on unknown names
@@ -91,6 +100,11 @@ class ViewConfig:
             raise ReproError(
                 f"coarse_event_threshold must be >= 0 or None, "
                 f"got {self.coarse_event_threshold!r}"
+            )
+        if self.capture_closure_deltas not in (True, False, "auto"):
+            raise ReproError(
+                f"capture_closure_deltas must be True, False or 'auto', "
+                f"got {self.capture_closure_deltas!r}"
             )
 
     @property

@@ -68,6 +68,7 @@ class ViewService:
             verify_each_update=self.config.verify_each_update,
             rng=self.config.make_rng(),
             index_backend=self.config.index_backend,
+            capture_closure_deltas=self.config.capture_closure_deltas,
         )
         # The registry attaches itself as a commit observer on first
         # subscribe(), so services that never subscribe pay nothing on

@@ -129,6 +129,16 @@ class ViewEvent:
 
     reason: str = ""
 
+    closure: "tuple[list, list] | None" = None
+    """The reachability-closure pair-delta ``(added, removed)`` of this
+    commit's Δ(M,L) repair — lists of ``(ancestor, descendant)`` node
+    ids, captured via :meth:`~repro.index.ReachabilityIndex.diff` when
+    a consumer asked for it (``capture_closure_deltas``).  Lets the
+    engine patch leading-``//`` regions instead of re-walking the whole
+    descendant closure.  Engine-internal and advisory: ``None`` means
+    "not captured, fall back to re-evaluation", and the field is
+    deliberately absent from the wire format (:meth:`to_dict`)."""
+
     # -- the frozen public wire format (docs/event-schema.md) -------------------
 
     def to_dict(self) -> dict:
@@ -221,10 +231,17 @@ def coalesce(events: Iterable[ViewEvent]) -> ViewEvent:
     conservative.
     """
     merged = ViewEvent(generation=0)
+    last = None
     for event in events:
         merged.generation = max(merged.generation, event.generation)
         merged.coarse = merged.coarse or event.coarse
         merged.edges.extend(event.edges)
         if event.reason:
             merged.reason = event.reason
+        last = event
+    # ``M`` is untouched while repairs are deferred, so the flush event
+    # (always last in the buffer) carries the batch's entire closure
+    # delta; mid-batch events have ``closure=None`` by construction.
+    if last is not None:
+        merged.closure = last.closure
     return merged

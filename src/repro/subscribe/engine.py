@@ -46,7 +46,7 @@ from repro.subscribe.deps import (
     first_affected_step,
     profile_query,
 )
-from repro.xpath.ast import XPath
+from repro.xpath.ast import DescendantStep, XPath
 from repro.xpath.parser import parse_xpath
 
 _STAT_KEYS = (
@@ -55,6 +55,7 @@ _STAT_KEYS = (
     "full_refreshes",
     "fallback_refreshes",
     "coarse_fallbacks",
+    "closure_patches",
 )
 
 #: Above this many edges in one event, scanning every subscription's
@@ -92,6 +93,9 @@ class Subscription:
         self._delta: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
         self._contexts: list[list[int]] | None = None
         self._context_sets: list[frozenset] | None = None
+        self._closure_consumer = False
+        """True while this (leading-``//``) subscription holds a slot in
+        ``updater.closure_consumers``."""
 
     @property
     def generation(self) -> int:
@@ -197,6 +201,12 @@ class SubscriptionRegistry:
             next(self._ids), str(parsed) or ".", parsed,
             profile_query(parsed, root_label), self,
         )
+        if parsed.steps and isinstance(parsed.steps[0], DescendantStep):
+            # A leading-``//`` query can be maintained from closure
+            # pair-deltas; tell the updater someone wants them captured
+            # (``capture_closure_deltas='auto'`` keys off this count).
+            sub._closure_consumer = True
+            self.updater.closure_consumers += 1
         with sub._mutex:
             self._refresh_full(sub)
             sub._generation = self.updater._version
@@ -214,6 +224,9 @@ class SubscriptionRegistry:
         """Drop ``sub`` from maintenance (idempotent; folds its stats)."""
         with self._members:
             sub.active = False
+            if sub._closure_consumer:
+                sub._closure_consumer = False
+                self.updater.closure_consumers -= 1
             if sub in self._subs:
                 self._subs.remove(sub)
                 # Keep the registry-level counters monotonic: fold the
@@ -281,7 +294,10 @@ class SubscriptionRegistry:
             sub._delta = ((), ())
             sub._generation = event.generation
             return
-        if k == 0 or sub._contexts is None or len(sub._contexts) <= k:
+        action = self._closure_patch(sub, event) if k == 0 else None
+        if action is not None:
+            sub.stats[action] += 1
+        elif k == 0 or sub._contexts is None or len(sub._contexts) <= k:
             # (coarse events arrive as k == 0.)
             self._refresh_full(sub)
             sub.stats["full_refreshes"] += 1
@@ -290,6 +306,81 @@ class SubscriptionRegistry:
             sub.stats["suffix_refreshes"] += 1
         sub._delta = _diff(old, sub._nodes)
         sub._generation = event.generation
+
+    def _closure_patch(self, sub: Subscription, event: ViewEvent) -> str | None:
+        """Maintain a leading-``//`` subscription from the closure delta.
+
+        A structural event always intersects the ``//`` step's region
+        (its context is *every* node), so without help these queries
+        re-evaluate fully on each commit — including the descendant
+        closure walk the ``//`` step pays.  When the event carries the
+        repair's exact closure pair-delta (``event.closure``, see
+        ``capture_closure_deltas``), the region change is knowable
+        instead: nodes whose ``(root, n)`` pair was added *entered* the
+        view (and the region), nodes whose pair was removed *left* (they
+        were garbage-collected — a live node is always below the root).
+        The patch then
+
+        - drops the departed nodes from every cached context,
+        - re-evaluates the remaining steps **only from the entered
+          nodes** and merges the partial result in (``closure_patches``),
+        - or, when the event also touches a step beyond the ``//``
+          (``first_affected_step(start=1)``), falls back to a suffix
+          re-evaluation from the deepest intact context — still never
+          re-walking the closure (``suffix_refreshes``).
+
+        Returns the stat key of the action taken, or ``None`` when the
+        event has no closure delta (or the query does not qualify) and
+        the ordinary full re-evaluation must run.
+        """
+        if event.closure is None:
+            return None
+        steps = sub.query.steps
+        if not steps or not isinstance(steps[0], DescendantStep):
+            return None
+        contexts, context_sets = sub._contexts, sub._context_sets
+        if contexts is None or context_sets is None or len(contexts) < 2:
+            return None
+        root = self.updater.store.root_id
+        if root is None:
+            return None
+        added_pairs, removed_pairs = event.closure
+        entered = {d for a, d in added_pairs if a == root}
+        left = {d for a, d in removed_pairs if a == root}
+        k2 = first_affected_step(
+            sub.profile, event, context_sets, start=1
+        )
+        if k2 is not None and entered:
+            # New chains and damage beyond the ``//`` at once: merging
+            # both soundly equals a full pass, so just run one.
+            return None
+        if left:
+            for i in range(1, len(contexts)):
+                if left & context_sets[i]:
+                    contexts[i] = [n for n in contexts[i] if n not in left]
+                    context_sets[i] = frozenset(contexts[i])
+            sub._nodes = tuple(n for n in sub._nodes if n not in left)
+        if entered:
+            contexts[1] = [*contexts[1], *sorted(entered)]
+            context_sets[1] = frozenset(contexts[1])
+        if k2 is not None:
+            self._refresh_suffix(sub, k2)
+            return "suffix_refreshes"
+        if entered:
+            suffix = XPath(steps[1:])
+            result = self.updater.evaluator().evaluate_from(
+                suffix, start=sorted(entered)
+            )
+            for j, partial in enumerate(result.contexts[1:], start=2):
+                fresh = [n for n in partial if n not in context_sets[j]]
+                if fresh:
+                    contexts[j] = [*contexts[j], *fresh]
+                    context_sets[j] = frozenset(contexts[j])
+            if result.targets:
+                sub._nodes = tuple(
+                    sorted(set(sub._nodes) | set(result.targets))
+                )
+        return "closure_patches"
 
     def _refresh_full(self, sub: Subscription) -> None:
         result = self.updater.evaluator().evaluate_from(sub.query)

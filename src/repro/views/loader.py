@@ -81,7 +81,8 @@ def load_structures(
     """Build the auxiliary structures ``(L, M)`` for a (re)loaded store.
 
     ``index_backend`` selects the reachability-index engine
-    (``"auto"`` | ``"bitset"`` | ``"sets"``, see :mod:`repro.index`).
+    (``"auto"`` | ``"matrix"`` | ``"bitset"`` | ``"sets"``, see
+    :mod:`repro.index` and ``docs/index-backends.md``).
     """
     from repro.core.topo import TopoOrder
     from repro.index import build_index

@@ -14,10 +14,12 @@ from repro.atg.publisher import publish_store
 from repro.core.reachability import ReachabilityMatrix, compute_reach
 from repro.core.topo import TopoOrder
 from repro.core.updater import SideEffectPolicy, XMLViewUpdater
-from repro.errors import ReproError
+import repro.index as index_module
+from repro.errors import MissingDependencyError, ReproError
 from repro.index import (
     AUTO_BACKEND,
     BACKENDS,
+    ENV_BACKEND,
     BitsetReachabilityIndex,
     SetReachabilityIndex,
     build_index,
@@ -30,6 +32,13 @@ from repro.workloads.registrar import build_registrar
 from repro.workloads.synthetic import SyntheticConfig, build_synthetic
 from repro.ops import DeleteOp, InsertOp
 
+try:
+    import numpy  # noqa: F401
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - no-NumPy CI leg
+    _HAVE_NUMPY = False
+
 ALL_BACKENDS = sorted(BACKENDS)
 
 
@@ -40,15 +49,42 @@ ALL_BACKENDS = sorted(BACKENDS)
 
 class TestFactory:
     def test_backends_registered(self):
-        assert set(ALL_BACKENDS) == {"sets", "bitset"}
+        assert {"sets", "bitset"} <= set(ALL_BACKENDS)
+        # The matrix backend registers exactly when NumPy imports.
+        assert ("matrix" in BACKENDS) == _HAVE_NUMPY
 
-    def test_auto_resolves_to_bitset(self):
-        assert resolve_backend("auto") == AUTO_BACKEND == "bitset"
+    def test_auto_resolves_to_fastest_available(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        expected = "matrix" if _HAVE_NUMPY else "bitset"
+        assert resolve_backend("auto") == AUTO_BACKEND == expected
+        assert make_index("auto").backend == expected
+
+    def test_auto_honors_environment_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "bitset")
+        assert resolve_backend("auto") == "bitset"
         assert isinstance(make_index("auto"), BitsetReachabilityIndex)
+        # Explicit names always win over the environment.
+        assert resolve_backend("sets") == "sets"
+        monkeypatch.setenv(ENV_BACKEND, "auto")
+        assert resolve_backend("auto") == AUTO_BACKEND
+        monkeypatch.setenv(ENV_BACKEND, "roaring")
+        with pytest.raises(ReproError, match="REPRO_INDEX_BACKEND"):
+            resolve_backend("auto")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ReproError, match="unknown reachability-index"):
             make_index("roaring")
+
+    def test_matrix_without_numpy_raises_typed_error(self, monkeypatch):
+        # Simulate a NumPy-less install by hiding the registry entry.
+        monkeypatch.delitem(index_module.BACKENDS, "matrix", raising=False)
+        monkeypatch.setattr(index_module, "AUTO_BACKEND", "bitset")
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert index_module.resolve_backend("auto") == "bitset"
+        with pytest.raises(
+            MissingDependencyError, match=r"repro\[fast\]"
+        ):
+            index_module.resolve_backend("matrix")
 
     def test_legacy_names_preserved(self):
         # The historical entry points stay importable and set-backed.
@@ -209,17 +245,19 @@ def test_random_interleavings_agree(seed):
         assert index.check_invariants() == [], name
         assert len(index) == len(expected), name
         assert set(index.pairs()) == expected, name
-    a, b = (indexes[n] for n in ALL_BACKENDS)
-    assert a.equals(b) and b.equals(a)
-    # copies are independent
-    clone = a.copy()
-    assert clone.equals(a)
-    if (38, 39) in clone:
-        clone.remove(38, 39)
-    else:
-        clone.insert(38, 39)
-    assert not clone.equals(a)
-    assert a.equals(b)  # the original is untouched by the clone edit
+    first, *rest = (indexes[n] for n in ALL_BACKENDS)
+    for other in rest:
+        assert first.equals(other) and other.equals(first)
+    # copies are independent (of every backend)
+    for index in indexes.values():
+        clone = index.copy()
+        assert clone.equals(index)
+        if (38, 39) in clone:
+            clone.remove(38, 39)
+        else:
+            clone.insert(38, 39)
+        assert not clone.equals(index)
+        assert index.equals(first)  # the original is untouched
 
 
 @pytest.mark.parametrize("seed", [0, 1])
@@ -250,8 +288,9 @@ def test_dense_id_reuse_after_drop_agrees(seed):
     for name, index in indexes.items():
         assert index.check_invariants() == [], name
         assert set(index.pairs()) == expected, name
-    a, b = (indexes[n] for n in ALL_BACKENDS)
-    assert a.equals(b)
+    first, *rest = (indexes[n] for n in ALL_BACKENDS)
+    for other in rest:
+        assert first.equals(other)
 
 
 # ---------------------------------------------------------------------------
@@ -351,12 +390,13 @@ def test_synthetic_backends_byte_identical():
                 outcomes.append(updater.apply_op(op))
         runs[backend] = (updater, outcomes)
 
-    (u_a, o_a), (u_b, o_b) = (runs[n] for n in ALL_BACKENDS)
-    for a, b in zip(o_a, o_b):
-        assert a.accepted == b.accepted
-        assert _delta_v_ops(a) == _delta_v_ops(b)
-        assert _delta_r_ops(a) == _delta_r_ops(b)
-    assert u_a.reach.equals(u_b.reach)
+    (u_a, o_a), *others = (runs[n] for n in ALL_BACKENDS)
+    for u_b, o_b in others:
+        for a, b in zip(o_a, o_b):
+            assert a.accepted == b.accepted
+            assert _delta_v_ops(a) == _delta_v_ops(b)
+            assert _delta_r_ops(a) == _delta_r_ops(b)
+        assert u_a.reach.equals(u_b.reach)
     for updater, _ in runs.values():
         assert updater.check_consistency() == []
         assert updater.reach.check_invariants() == []

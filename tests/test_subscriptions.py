@@ -280,7 +280,99 @@ class TestRegistrarEquivalence:
         stats = service.stats()["subscriptions"]
         assert stats["subscriptions"] == 1
         assert stats["events_processed"] == 1
-        assert stats["full_refreshes"] == 1
+        # Leading-// queries consume the closure pair-delta now, so a
+        # structural delete no longer costs a full re-eval; this event
+        # also touches the course label step, so it lands in the
+        # suffix branch of the patch path.
+        assert stats["full_refreshes"] == 0
+        assert stats["suffix_refreshes"] == 1
+
+    def test_closure_consumer_counting(self):
+        """Only leading-``//`` subscriptions turn on auto pair capture."""
+        service = registrar_service()
+        updater = service.updater
+        assert updater.closure_consumers == 0
+        anchored = service.subscribe("course[cno=CS240]")
+        assert updater.closure_consumers == 0
+        assert not updater._capturing_pairs()
+        rooted = service.subscribe("//student")
+        assert updater.closure_consumers == 1
+        assert updater._capturing_pairs()
+        rooted.close()
+        assert updater.closure_consumers == 0
+        assert not updater._capturing_pairs()
+        anchored.close()
+
+    def test_unmatched_insert_is_patched_not_reevaluated(self):
+        """A structural insert that cannot produce result nodes is
+        absorbed by the closure pair-delta: no re-evaluation at all.
+        (Before closure patches, every structural op forced a full
+        re-eval of leading-``//`` queries — their region depends on
+        every edge under the root.)"""
+        service = registrar_service()
+        sub = service.subscribe("//student")
+        baseline = sub.result()
+        service.apply(InsertOp(".", "course", ("CS700", "Theory")))
+        assert sub.stats["closure_patches"] == 1
+        assert sub.stats["full_refreshes"] == 0
+        assert sub.stats["suffix_refreshes"] == 0
+        assert sub.result() == baseline
+        assert_current(service, [sub], "after non-student insert")
+
+    def test_gc_delete_is_patched_not_reevaluated(self):
+        """Garbage-collected nodes are shed from the cached contexts
+        straight from the closure delta's removed pairs."""
+        service = registrar_service()
+        service.apply(InsertOp(".", "course", ("CS700", "Theory")))
+        sub = service.subscribe("//student")
+        service.apply(DeleteOp("course[cno=CS700]"))
+        assert sub.stats["closure_patches"] == 1
+        assert sub.stats["full_refreshes"] == 0
+        assert_current(service, [sub], "after GC delete")
+
+    def test_structural_stream_never_fully_reevaluates(self):
+        """Re-evaluation count over a mixed structural stream: every
+        event is either skipped, patched from the closure delta, or at
+        worst suffix-refreshed — never a from-the-root re-eval."""
+        service = registrar_service()
+        sub = service.subscribe("//student")
+        stream = [
+            InsertOp(".", "course", ("CS700", "Theory")),
+            InsertOp("course[cno=CS650]/prereq", "course",
+                     ("CS500", "Operating Systems")),
+            DeleteOp("course[cno=CS650]/prereq/course[cno=CS500]"),
+            DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+            DeleteOp("course[cno=CS700]"),
+        ]
+        for op in stream:
+            outcome = service.apply(op)
+            assert outcome.accepted
+            assert_current(service, [sub], f"after {op.kind}")
+        assert sub.stats["full_refreshes"] == 0
+        assert sub.stats["closure_patches"] >= 2
+        handled = (
+            sub.stats["skips"]
+            + sub.stats["closure_patches"]
+            + sub.stats["suffix_refreshes"]
+        )
+        assert handled == len(stream)
+        assert service.stats()["subscriptions"]["events_processed"] == len(
+            stream
+        )
+
+    def test_student_insert_stays_current(self):
+        """Ops that add result nodes via a matching deeper step leave
+        the patch path (the new nodes' own edges hit step >= 1) and
+        fall back to a sound full re-eval."""
+        service = registrar_service()
+        sub = service.subscribe("//student")
+        before = sub.result()
+        service.apply(
+            InsertOp("course[cno=CS240]/takenBy", "student", ("999", "Zed"))
+        )
+        assert sub.result() != before
+        assert sub.stats["full_refreshes"] == 1
+        assert_current(service, [sub], "after student insert")
 
     def test_stats_stay_monotonic_after_close(self):
         """Regression: closing a subscription used to subtract its
@@ -290,10 +382,10 @@ class TestRegistrarEquivalence:
         service.apply(
             DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]")
         )
-        before = service.subscriptions.stats()["full_refreshes"]
+        before = service.subscriptions.stats()["suffix_refreshes"]
         assert before == 1
         sub.close()
-        assert service.subscriptions.stats()["full_refreshes"] == before
+        assert service.subscriptions.stats()["suffix_refreshes"] == before
 
 
 # ---------------------------------------------------------------------------
