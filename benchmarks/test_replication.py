@@ -1,0 +1,144 @@
+"""Replication costs: snapshot capture/save/load and changefeed folding.
+
+Two questions an operator sizes a replica fleet with:
+
+- **bootstrap cost** — how long does it take to capture, serialize and
+  restore a snapshot of the full store, and how big is the artifact;
+- **steady-state cost** — how fast does a replica fold events compared
+  with the writer producing them (fold throughput must dominate, or a
+  replica can never catch up).
+
+Sizes are laptop-scale; correctness assertions (lossless round trip,
+byte-identical convergence) always run, while the timing-*ratio*
+assertion is ``perf``-marked like the rest of the suite.  Timings land
+in ``BENCH_index.json`` via ``conftest.record_bench``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pickle
+import time
+
+import pytest
+from conftest import SIZES, fresh_updater, record_bench
+
+from repro.replica import InProcessTransport, ReplicaView, Snapshot
+from repro.service import ViewConfig, open_view
+from repro.workloads import make_workload
+
+OPS_PER_KIND = 6
+LARGEST = max(SIZES)
+
+
+def _service(dataset):
+    return open_view(
+        dataset.atg,
+        dataset.db,
+        config=ViewConfig(side_effects="propagate", strict=False),
+    )
+
+
+def _op_stream(dataset):
+    ops = []
+    for cls in ("W1", "W2"):
+        ops.extend(make_workload(dataset, "delete", cls, count=OPS_PER_KIND))
+    ops.extend(make_workload(
+        dataset, "insert", "W2", count=OPS_PER_KIND, new_key_fraction=0.0
+    ))
+    return ops
+
+
+@pytest.mark.parametrize("n_c", SIZES)
+def test_snapshot_round_trip_cost(n_c, tmp_path):
+    _updater, dataset = fresh_updater(n_c)
+    service = _service(dataset)
+    path = tmp_path / "view.pkl.gz"
+
+    start = time.perf_counter()
+    snapshot = service.snapshot()
+    capture = time.perf_counter() - start
+
+    start = time.perf_counter()
+    snapshot.save(path)
+    save = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loaded = Snapshot.load(path)
+    load = time.perf_counter() - start
+
+    start = time.perf_counter()
+    store = loaded.restore_store(service.atg)
+    restore = time.perf_counter() - start
+
+    assert loaded == snapshot  # lossless
+    assert store.export_state() == service.store.export_state()
+    size = path.stat().st_size
+    # The gzip layer must actually pay for itself on this payload.
+    assert size < len(pickle.dumps(snapshot.to_dict()))
+    assert gzip.decompress(path.read_bytes())
+
+    for phase, seconds in (
+        ("capture", capture), ("save", save),
+        ("load", load), ("restore", restore),
+    ):
+        record_bench(
+            "replication_snapshot", "service", phase, seconds,
+            n_c=n_c, nodes=snapshot.num_nodes, edges=snapshot.num_edges,
+            artifact_bytes=size,
+        )
+
+
+@pytest.mark.parametrize("n_c", SIZES)
+def test_fold_throughput_tracks_writer(n_c):
+    _updater, dataset = fresh_updater(n_c)
+    service = _service(dataset)
+    replica = ReplicaView(service.atg, InProcessTransport(service))
+    replica.bootstrap()
+    ops = _op_stream(dataset)
+
+    start = time.perf_counter()
+    applied = sum(1 for op in ops if service.apply(op).accepted)
+    write = time.perf_counter() - start
+
+    start = time.perf_counter()
+    folded = replica.pump()
+    fold = time.perf_counter() - start
+
+    assert applied > 0 and folded > 0
+    assert replica.export_state() == service.store.export_state()
+    assert replica.digest() == service.store.digest()
+    record_bench(
+        "replication_fold", "service", "writer_apply", write,
+        n_c=n_c, events=applied,
+    )
+    record_bench(
+        "replication_fold", "service", "replica_fold", fold,
+        n_c=n_c, events=folded,
+    )
+
+
+@pytest.mark.perf
+def test_folding_outruns_the_writer():
+    """Steady-state viability: a replica folds an event stream faster
+    than the writer produced it (folding skips planning, SAT checks and
+    index maintenance), so lag is transient rather than cumulative."""
+    _updater, dataset = fresh_updater(LARGEST)
+    service = _service(dataset)
+    replica = ReplicaView(service.atg, InProcessTransport(service))
+    replica.bootstrap()
+    ops = _op_stream(dataset)
+
+    start = time.perf_counter()
+    for op in ops:
+        service.apply(op)
+    write = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replica.pump()
+    fold = time.perf_counter() - start
+
+    assert replica.digest() == service.store.digest()
+    assert fold < write, (
+        f"replica fold ({fold:.4f}s) must beat writer apply ({write:.4f}s)"
+    )

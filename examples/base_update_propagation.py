@@ -38,7 +38,7 @@ def main() -> None:
           f"+{outcome.stats['nodes_created']} nodes")
     print("as wire JSON:", batch1.to_json()[:80] + "...")
 
-    tree = service.snapshot()
+    tree = service.xml_tree()
     cs777 = next(n for n in tree.iter() if n.sem[:1] == ("CS777",))
     print("\nCS777 as published (one of its occurrences):")
     print(to_xml_string(cs777))

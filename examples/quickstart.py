@@ -29,7 +29,7 @@ def main() -> None:
     atg, db = build_registrar()
     service = open_view(atg, db)
 
-    show("Initial XML view (σ(I))", to_xml_string(service.snapshot()))
+    show("Initial XML view (σ(I))", to_xml_string(service.xml_tree()))
     show(
         "DAG compression",
         f"tree would repeat shared subtrees; DAG stores "
@@ -63,7 +63,7 @@ def main() -> None:
     )
     outcome = plan.commit()
 
-    show("Updated XML view", to_xml_string(service.snapshot()))
+    show("Updated XML view", to_xml_string(service.xml_tree()))
 
     problems = service.check_consistency()
     print("\nConsistency with a fresh republish σ(ΔR(I)):",

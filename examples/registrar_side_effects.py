@@ -47,7 +47,7 @@ def main() -> None:
     print("\nwith PROPAGATE policy: accepted =", outcome.accepted)
     print("ΔR =", [(op.kind, op.relation, op.row) for op in outcome.delta_r])
 
-    tree = service.snapshot()
+    tree = service.xml_tree()
     print("\nEvery CS320 occurrence now lists CS500 as a prerequisite:")
     for node in tree.iter():
         if node.tag == "course" and node.sem[0] == "CS320":

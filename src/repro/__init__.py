@@ -14,7 +14,7 @@ Quickstart::
 
     atg, db = build_registrar()
     service = open_view(atg, db)
-    print(service.snapshot())
+    print(service.xml_tree())
 
     # One-shot apply:
     service.apply(DeleteOp("course[cno='CS650']/prereq/course[cno='CS320']"))
@@ -29,6 +29,13 @@ Quickstart::
     sub.result(); sub.delta()          # full set / (added, removed) per commit
     feed = service.changefeed()        # replayable JSON events
                                        # (see docs/event-schema.md)
+
+    # Out-of-process read replicas (see docs/replication.md):
+    snap = service.snapshot()          # durable artifact; snap.save(path)
+    replica = ReplicaView(atg, InProcessTransport(service))
+    replica.bootstrap()                # snapshot + gapless changefeed attach
+    replica.wait_for(snap.generation)  # read-your-generation fencing
+    replica.xpath("course[cno=CS650]/prereq/course")
 """
 
 from repro.atg import ATG, ProjectionRule, QueryRule, publish_store, publish_tree
@@ -58,9 +65,18 @@ from repro.service import RWLock, ViewConfig, ViewService, open_view
 from repro.subscribe import (
     SCHEMA_VERSION,
     EdgeRecord,
+    NodeRecord,
     Subscription,
     SubscriptionRegistry,
     ViewEvent,
+)
+from repro.replica import (
+    SNAPSHOT_SCHEMA_VERSION,
+    InProcessTransport,
+    ReplicaView,
+    ReplicationServer,
+    Snapshot,
+    SocketTransport,
 )
 from repro.changefeed import ChangefeedConsumer, ChangefeedHub, ReplayBuffer
 from repro.dtd import DTD, parse_dtd
@@ -75,8 +91,14 @@ from repro.errors import (
     ChangefeedError,
     EventDecodeError,
     ReplayGapError,
+    ReplicaDivergedError,
+    ReplicaError,
+    ReplicaStaleError,
     ReproError,
     SideEffectError,
+    SnapshotError,
+    SnapshotMismatchError,
+    SnapshotSchemaError,
     UpdateRejectedError,
     ValidationError,
 )
@@ -89,7 +111,7 @@ from repro.relational import (
 from repro.views import ViewStore, build_registry
 from repro.xpath import parse_xpath
 
-__version__ = "0.5.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "ATG",
@@ -124,12 +146,25 @@ __all__ = [
     "SCHEMA_VERSION",
     "ViewEvent",
     "EdgeRecord",
+    "NodeRecord",
     "ChangefeedConsumer",
     "ChangefeedHub",
     "ReplayBuffer",
+    "Snapshot",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "ReplicaView",
+    "InProcessTransport",
+    "ReplicationServer",
+    "SocketTransport",
     "ChangefeedError",
     "EventDecodeError",
     "ReplayGapError",
+    "ReplicaError",
+    "ReplicaStaleError",
+    "ReplicaDivergedError",
+    "SnapshotError",
+    "SnapshotSchemaError",
+    "SnapshotMismatchError",
     "ReachabilityIndex",
     "SetReachabilityIndex",
     "BitsetReachabilityIndex",

@@ -72,6 +72,7 @@ def run(
     as_json: bool = False,
     stop_on_error: bool = True,
     show_stats: bool = False,
+    snapshot_path: str | None = None,
     out: TextIO | None = None,
 ) -> int:
     """Drive the service with a JSONL op stream; returns the exit code.
@@ -143,6 +144,27 @@ def run(
             f"|M| = {stats['reach_pairs']} reachability pairs",
             file=out,
         )
+        # Snapshot-freshness line: the current generation plus how much
+        # of the changefeed's bounded replay buffer is occupied tells a
+        # replica operator whether changefeed(since=<snapshot gen>)
+        # can still attach gaplessly.
+        feed = stats["changefeed"]
+        print(
+            f"generation: {stats['generation']}; changefeed buffer: "
+            f"{feed['retained']}/{feed['retention']} event(s) retained "
+            f"(replay floor {feed['floor']}, "
+            f"{feed['consumers']} consumer(s))",
+            file=out,
+        )
+    if snapshot_path is not None:
+        snapshot = service.snapshot()
+        snapshot.save(snapshot_path)
+        print(
+            f"snapshot: generation {snapshot.generation}, "
+            f"{snapshot.num_nodes} nodes / {snapshot.num_edges} edges "
+            f"-> {snapshot_path}",
+            file=out,
+        )
     if problems:
         for problem in problems:
             print(f"consistency: {problem}", file=sys.stderr)
@@ -185,6 +207,15 @@ def main(argv: list[str] | None = None) -> int:
         "(benchmark provenance)",
     )
     parser.add_argument(
+        "--snapshot",
+        dest="snapshot_path",
+        metavar="PATH",
+        default=None,
+        help="after the run, save a replication snapshot artifact to "
+        "PATH (gzip-compressed; bootstrap a replica from it with "
+        "python -m repro.replica)",
+    )
+    parser.add_argument(
         "--plan-only",
         action="store_true",
         help="dry run: plan each op, print the preview, abort it",
@@ -224,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
                 as_json=args.as_json,
                 stop_on_error=args.stop_on_error,
                 show_stats=args.show_stats,
+                snapshot_path=args.snapshot_path,
             )
         with open(args.ops_file, "r", encoding="utf-8") as handle:
             return run(
@@ -235,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
                 as_json=args.as_json,
                 stop_on_error=args.stop_on_error,
                 show_stats=args.show_stats,
+                snapshot_path=args.snapshot_path,
             )
     except (OSError, ReproError) as exc:
         # Decode errors are handled per line inside run(); this covers

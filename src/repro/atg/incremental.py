@@ -37,7 +37,12 @@ from repro.core.topo import TopoOrder
 from repro.errors import ReproError
 from repro.index import ReachabilityIndex
 from repro.relational.database import Database, RelationalDelta
-from repro.subscribe.delta import EdgeRecord, edge_records_from_delta
+from repro.subscribe.delta import (
+    EdgeRecord,
+    NodeRecord,
+    edge_records_from_delta,
+    node_records_for,
+)
 from repro.views.registry import EdgeView, EdgeViewRegistry
 from repro.views.store import ViewStore
 
@@ -63,6 +68,13 @@ class PropagationReport:
     populated when the propagation ran with ``want_records=True`` (the
     updater passes it iff commit observers are attached, so
     observer-less services pay nothing)."""
+
+    node_records: list[NodeRecord] = field(default_factory=list)
+    """Interning records for the insert-edge endpoints (the replication
+    side channel, :class:`~repro.subscribe.delta.NodeRecord`), captured
+    *before* the closing GC pass so endpoints collected in the same
+    propagation are still described.  Populated only with
+    ``want_records=True``, like :attr:`edge_records`."""
 
 
 def propagate_base_update(
@@ -179,6 +191,12 @@ def propagate_base_update(
                 )
         pending = remaining
     report.unreachable_gains = len(pending)
+
+    # Interning records must be captured while the gain endpoints are
+    # still alive: the GC pass below may collect a node that one of this
+    # propagation's own insert records references.
+    if want_records:
+        report.node_records = node_records_for(store, report.edge_records)
 
     # -- 4. one delete-maintenance pass for all removals -----------------------
     if removed_children:

@@ -80,7 +80,11 @@ from repro.ops import (
 from repro.relational.database import Database, RelationalDelta
 from repro.relview.delete import expand_view_deletions, translate_deletions
 from repro.relview.insert import translate_insertions
-from repro.subscribe.delta import ViewEvent, edge_records_from_delta
+from repro.subscribe.delta import (
+    ViewEvent,
+    edge_records_from_delta,
+    node_records_for,
+)
 from repro.views.registry import EdgeViewRegistry, build_registry
 from repro.views.store import ViewDelta, ViewStore
 from repro.xmltree.tree import XMLNode
@@ -292,6 +296,7 @@ class UpdatePlan:
         updater._outstanding_plan = None
         notify = bool(updater._observers)
         edge_records = []
+        node_records = []
         try:
             if self._base_delta is not None:
                 updater._in_plan_commit = True
@@ -313,9 +318,13 @@ class UpdatePlan:
                     if outcome.delta_v is not None:
                         updater.store.apply(outcome.delta_v)
                 if notify and outcome.delta_v is not None:
-                    # Capture child values before GC can drop the nodes.
+                    # Capture child values and interning records before
+                    # GC can drop the nodes.
                     edge_records = edge_records_from_delta(
                         updater.store, outcome.delta_v
+                    )
+                    node_records = node_records_for(
+                        updater.store, edge_records
                     )
                 with _Timer(outcome, "maintain"):
                     delete_reports = updater._maintain(
@@ -344,12 +353,14 @@ class UpdatePlan:
                 updater._emit(ViewEvent(
                     generation=updater._version,
                     edges=report.edge_records,
+                    nodes=report.node_records,
                     reason="base_update",
                 ))
             else:
                 updater._emit(ViewEvent(
                     generation=updater._version,
                     edges=edge_records,
+                    nodes=node_records,
                     deferred=updater._session is not None,
                     reason=self.op.kind,
                     closure=updater._last_pair_delta,
@@ -951,6 +962,7 @@ class XMLViewUpdater:
             self._emit(ViewEvent(
                 generation=self._version,
                 edges=report.edge_records,
+                nodes=report.node_records,
                 reason="base_update",
             ))
         return report

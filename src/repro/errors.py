@@ -118,6 +118,12 @@ class ReplayGapError(ChangefeedError):
     given a complete stream, and silently skipping events would corrupt
     any replica folding them.  Catch this and re-bootstrap from a fresh
     snapshot instead.
+
+    The boundary is machine-readable: :attr:`oldest_available` (an alias
+    of :attr:`floor`) is the oldest generation a fresh
+    ``changefeed(since=...)`` can still resume from, so a replica's
+    re-bootstrap path can request "a snapshot at generation >=
+    oldest_available" without parsing the message.
     """
 
     def __init__(self, since: int, floor: int):
@@ -129,7 +135,64 @@ class ReplayGapError(ChangefeedError):
         )
         self.since = since
         self.floor = floor
+        self.oldest_available = floor
+        """Oldest generation still resumable via replay — a snapshot at
+        this generation or newer closes the gap."""
 
 
 class EventDecodeError(ReproError):
     """A wire-format changefeed event (dict / JSON) was malformed."""
+
+
+class ReplicaError(ReproError):
+    """Base class for the replication subsystem (:mod:`repro.replica`)."""
+
+
+class SnapshotError(ReplicaError):
+    """A snapshot artifact was malformed, unreadable, or inconsistent."""
+
+
+class SnapshotSchemaError(SnapshotError):
+    """A snapshot artifact speaks a different snapshot-schema version.
+
+    Loading refuses rather than guessing; re-create the snapshot with the
+    library version that will load it.  The versions involved ride on
+    :attr:`found` and :attr:`expected`.
+    """
+
+    def __init__(self, found, expected: int):
+        super().__init__(
+            f"snapshot artifact has schema version {found!r}; this "
+            f"library speaks snapshot schema version {expected}"
+        )
+        self.found = found
+        self.expected = expected
+
+
+class SnapshotMismatchError(SnapshotError):
+    """A snapshot was produced against a different view definition.
+
+    The artifact embeds a fingerprint of the ATG (DTD + signatures +
+    rules) it was taken from; bootstrapping a replica whose own ATG
+    fingerprint differs would fold events into the wrong schema.
+    """
+
+
+class ReplicaStaleError(ReplicaError):
+    """The replica can no longer fold the feed and must re-bootstrap.
+
+    Raised when a coarse event arrives (the edge list does not describe
+    the change — e.g. a store rebuild) or when the feed was lost past the
+    retention window.  Recovery is always the same: fetch a fresh
+    snapshot and re-attach (``ReplicaView.bootstrap()``).
+    """
+
+
+class ReplicaDivergedError(ReplicaError):
+    """An event referenced state the replica does not have.
+
+    Folding is strict: an insert for an unknown node id, or a delete for
+    an edge that is not present, means the replica's mirror has drifted
+    from the writer (a skipped event, a bug) — carrying on would corrupt
+    reads silently.  Re-bootstrap from a fresh snapshot.
+    """

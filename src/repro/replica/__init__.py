@@ -1,0 +1,55 @@
+"""Out-of-process read replicas for a published XML view.
+
+The writer stays exactly what it was — one :class:`~repro.service.facade.ViewService`
+maintaining the view incrementally — and this package adds the fan-out
+story around it, in three layers:
+
+- **snapshot protocol** (:mod:`repro.replica.snapshot`) —
+  ``service.snapshot()`` produces a generation-stamped, schema-versioned
+  :class:`Snapshot` artifact (the complete interned store state plus
+  view config and provenance metadata) with a lossless gzip-compressed
+  ``save``/``load`` round-trip;
+- **bootstrap + fold** (:mod:`repro.replica.view`) — a
+  :class:`ReplicaView` loads a snapshot at generation ``g``, attaches
+  ``changefeed(since=g)`` gaplessly, folds each event's
+  :class:`~repro.subscribe.delta.EdgeRecord` list (with the
+  :class:`~repro.subscribe.delta.NodeRecord` interning side channel for
+  nodes unseen at snapshot time) into a full mirrored
+  :class:`~repro.views.store.ViewStore`, and serves ``xpath()`` locally
+  with read-your-generation fencing (``replica.wait_for(gen)``);
+- **transport** (:mod:`repro.replica.transport`) — pluggable:
+  :class:`InProcessTransport` for tests and same-process mirrors,
+  :class:`ReplicationServer`/:class:`SocketTransport` speaking
+  length-prefixed JSON frames over TCP for real out-of-process replicas
+  (see ``examples/replication_demo.py`` and ``python -m repro.replica``).
+
+Semantics in one paragraph: the changefeed's event stream is *complete*
+(``docs/event-schema.md``) — node bindings are immutable once interned
+and edges are the only mutable state — so a replica that folds every
+event after its snapshot generation converges to a store byte-identical
+to the writer's (``replica.digest() == writer.store.digest()``), and
+reads at a fenced generation return exactly what the writer would have
+returned at that generation.  See ``docs/replication.md``.
+"""
+
+from repro.replica.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    Snapshot,
+    atg_fingerprint,
+)
+from repro.replica.transport import (
+    InProcessTransport,
+    ReplicationServer,
+    SocketTransport,
+)
+from repro.replica.view import ReplicaView
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "Snapshot",
+    "atg_fingerprint",
+    "InProcessTransport",
+    "ReplicationServer",
+    "SocketTransport",
+    "ReplicaView",
+]

@@ -1,0 +1,399 @@
+"""Pluggable replication transports: in-process, and JSONL over TCP.
+
+The :class:`~repro.replica.view.ReplicaView` only needs three verbs from
+a transport — ``snapshot()`` (a :class:`~repro.replica.snapshot.Snapshot`),
+``subscribe(since)`` (a feed with ``next_event(timeout)``/``close()``),
+and ``head()`` (the writer's current generation, for lag reporting):
+
+- :class:`InProcessTransport` binds those verbs straight to a local
+  :class:`~repro.service.facade.ViewService` — the test/demo transport,
+  also useful for same-process mirrors (e.g. a read pool that must not
+  contend on the writer's lock);
+- :class:`ReplicationServer` + :class:`SocketTransport` speak
+  length-prefixed JSONL over TCP: each frame is a 4-byte big-endian
+  length followed by one newline-terminated JSON object.  A connection
+  carries one request (``snapshot`` / ``head`` / ``subscribe``); a
+  successful ``subscribe`` turns the connection into an event stream.
+
+Wire errors stay typed end-to-end: a replay gap on the server crosses
+the socket as ``{"ok": false, "error": "replay_gap", ...}`` and is
+re-raised client-side as :class:`~repro.errors.ReplayGapError` with its
+``oldest_available`` field intact, so the replica's re-bootstrap logic
+is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.errors import ChangefeedError, ReplayGapError, ReplicaError
+from repro.replica.snapshot import Snapshot
+from repro.subscribe.delta import ViewEvent
+
+#: Max accepted frame size (a snapshot of a very large view travels as
+#: one frame; 256 MiB is far past any benchmark while still bounding a
+#: malformed length prefix).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one length-prefixed JSONL frame to ``sock``."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    sock.sendall(len(body).to_bytes(4, "big") + body)
+
+
+class _FrameReader:
+    """Incremental frame decoder over one socket.
+
+    Keeps partially received bytes across calls, so a read timeout
+    mid-frame loses nothing: the next call resumes where it stopped.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buf = bytearray()
+
+    def _fill(self, timeout: float | None) -> bool:
+        """Receive more bytes; ``False`` means clean EOF."""
+        self._sock.settimeout(timeout)
+        chunk = self._sock.recv(65536)
+        if not chunk:
+            return False
+        self._buf += chunk
+        return True
+
+    def read_frame(self, timeout: float | None = None) -> dict | None:
+        """Decode one frame; ``None`` on clean EOF.
+
+        A timeout raises :class:`TimeoutError` (the builtin
+        ``socket.timeout`` alias) without consuming anything.
+        """
+        while len(self._buf) < 4:
+            if not self._fill(timeout):
+                return None
+        length = int.from_bytes(self._buf[:4], "big")
+        if length > MAX_FRAME_BYTES:
+            raise ReplicaError(
+                f"replication frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte bound (corrupt stream?)"
+            )
+        while len(self._buf) < 4 + length:
+            if not self._fill(timeout):
+                return None
+        body = bytes(self._buf[4 : 4 + length])
+        del self._buf[: 4 + length]
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            raise ReplicaError(
+                f"replication frame is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ReplicaError(
+                f"replication frame must be a JSON object, got {payload!r}"
+            )
+        return payload
+
+
+class InProcessTransport:
+    """Replication verbs bound directly to a local service (no sockets)."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def snapshot(self) -> Snapshot:
+        """A fresh :meth:`ViewService.snapshot` artifact."""
+        return self.service.snapshot()
+
+    def subscribe(self, since: int):
+        """A pull-mode ``changefeed(since=...)`` consumer."""
+        return self.service.changefeed(since=since)
+
+    def head(self) -> int:
+        """The writer's current generation."""
+        return self.service.stats()["generation"]
+
+    def close(self) -> None:
+        """Nothing to release (the service is not owned)."""
+
+
+class SocketFeed:
+    """Client side of one subscribed event stream."""
+
+    def __init__(self, sock: socket.socket, reader: _FrameReader):
+        self._sock = sock
+        self._reader = reader
+        self._closed = False
+        self.generation = 0
+        """Generation of the last event taken (resume-point parity with
+        :class:`~repro.changefeed.consumer.ChangefeedConsumer`)."""
+
+    def next_event(self, timeout: float | None = None) -> ViewEvent | None:
+        """Take the next event; ``None`` on timeout or end of stream."""
+        if self._closed:
+            return None
+        try:
+            frame = self._reader.read_frame(timeout=timeout)
+        except TimeoutError:
+            return None
+        except OSError:
+            self.close()
+            return None
+        if frame is None:
+            self.close()
+            return None
+        if "event" in frame:
+            event = ViewEvent.from_dict(frame["event"])
+            self.generation = event.generation
+            return event
+        raise _error_from_frame(frame)
+
+    def __iter__(self):
+        """Yield events until the stream ends (blocking reads)."""
+        while True:
+            event = self.next_event()
+            if event is None:
+                return
+            yield event
+
+    @property
+    def closed(self) -> bool:
+        """Whether the stream has ended or :meth:`close` was called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def _error_from_frame(frame: dict) -> Exception:
+    """Map a server error frame back to the typed exception."""
+    kind = frame.get("error")
+    if kind == "replay_gap":
+        return ReplayGapError(
+            since=int(frame.get("since", 0)),
+            floor=int(frame.get("oldest_available", 0)),
+        )
+    if kind == "changefeed":
+        return ChangefeedError(str(frame.get("message", "changefeed error")))
+    return ReplicaError(
+        f"replication server error: {frame.get('message', frame)!r}"
+    )
+
+
+class SocketTransport:
+    """Client transport speaking length-prefixed JSONL to a server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _request_once(self, payload: dict) -> dict:
+        """One request/reply round trip on a throwaway connection."""
+        sock = self._connect()
+        try:
+            send_frame(sock, payload)
+            reply = _FrameReader(sock).read_frame(timeout=self.timeout)
+        finally:
+            sock.close()
+        if reply is None:
+            raise ReplicaError(
+                f"replication server at {self.host}:{self.port} closed "
+                f"the connection without replying"
+            )
+        if not reply.get("ok", False):
+            raise _error_from_frame(reply)
+        return reply
+
+    def snapshot(self) -> Snapshot:
+        """Fetch a fresh snapshot artifact from the writer."""
+        reply = self._request_once({"op": "snapshot"})
+        return Snapshot.from_dict(reply["snapshot"])
+
+    def head(self) -> int:
+        """The writer's current generation (for lag reporting)."""
+        return int(self._request_once({"op": "head"})["generation"])
+
+    def subscribe(self, since: int) -> SocketFeed:
+        """Open an event stream resuming after generation ``since``.
+
+        Raises :class:`~repro.errors.ReplayGapError` (with
+        ``oldest_available``) when the writer has evicted that resume
+        point — same contract as ``service.changefeed(since=...)``.
+        """
+        sock = self._connect()
+        try:
+            send_frame(sock, {"op": "subscribe", "since": since})
+            reader = _FrameReader(sock)
+            reply = reader.read_frame(timeout=self.timeout)
+        except BaseException:
+            sock.close()
+            raise
+        if reply is None:
+            sock.close()
+            raise ReplicaError(
+                f"replication server at {self.host}:{self.port} closed "
+                f"the connection during subscribe"
+            )
+        if not reply.get("ok", False):
+            sock.close()
+            raise _error_from_frame(reply)
+        return SocketFeed(sock, reader)
+
+    def close(self) -> None:
+        """Nothing persistent to release (connections are per-call)."""
+
+
+class ReplicationServer:
+    """Serve snapshots and the changefeed over TCP for remote replicas.
+
+    One server per writer service.  ``port=0`` (default) binds an
+    ephemeral port; read it back from :attr:`port` or :attr:`address`.
+    Each accepted connection is handled on a daemon thread: one request
+    frame in, then either a single reply (``snapshot`` / ``head``) or a
+    long-lived event stream (``subscribe``).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._sock = socket.create_server((host, port))
+        self._sock.settimeout(0.25)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        return (self.host, self.port)
+
+    def start(self) -> "ReplicationServer":
+        """Begin accepting connections (idempotent); returns ``self``."""
+        if self._accept_thread is not None and self._accept_thread.is_alive():
+            return self
+        self._stop.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-replication-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._handle, args=(conn,),
+                name="repro-replication-conn", daemon=True,
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            request = _FrameReader(conn).read_frame(timeout=10.0)
+            if request is None:
+                return
+            op = request.get("op")
+            if op == "snapshot":
+                send_frame(conn, {
+                    "ok": True,
+                    "snapshot": self.service.snapshot().to_dict(),
+                })
+            elif op == "head":
+                send_frame(conn, {
+                    "ok": True,
+                    "generation": self.service.stats()["generation"],
+                })
+            elif op == "subscribe":
+                self._stream(conn, request)
+            else:
+                send_frame(conn, {
+                    "ok": False,
+                    "error": "bad_request",
+                    "message": f"unknown op {op!r}",
+                })
+        except (OSError, TimeoutError):
+            pass  # client went away; nothing to clean beyond the socket
+        finally:
+            conn.close()
+
+    def _stream(self, conn: socket.socket, request: dict) -> None:
+        since = request.get("since")
+        try:
+            consumer = self.service.changefeed(since=since)
+        except ReplayGapError as exc:
+            send_frame(conn, {
+                "ok": False,
+                "error": "replay_gap",
+                "since": exc.since,
+                "oldest_available": exc.oldest_available,
+            })
+            return
+        except ChangefeedError as exc:
+            send_frame(conn, {
+                "ok": False,
+                "error": "changefeed",
+                "message": str(exc),
+            })
+            return
+        try:
+            send_frame(conn, {"ok": True})
+            while not self._stop.is_set():
+                event = consumer.next_event(timeout=0.25)
+                if event is not None:
+                    send_frame(conn, {"event": event.to_dict()})
+                elif consumer.error is not None:
+                    send_frame(conn, {
+                        "error": "changefeed",
+                        "message": str(consumer.error),
+                    })
+                    return
+                elif consumer.closed:
+                    return
+        except (OSError, TimeoutError):
+            pass  # replica disconnected; detach below
+        finally:
+            consumer.close()
+
+    def close(self) -> None:
+        """Stop accepting, drop the listener, end live streams."""
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in self._conn_threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ReplicationServer":
+        """Context-manager entry: :meth:`start`."""
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+        return False

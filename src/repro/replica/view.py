@@ -1,0 +1,391 @@
+"""The replica: bootstrap from a snapshot, fold the changefeed, serve reads.
+
+A :class:`ReplicaView` owns a mirrored :class:`~repro.views.store.ViewStore`
+and keeps it converged with the writer by folding published
+:class:`~repro.subscribe.delta.ViewEvent` objects in generation order:
+
+1. install every :class:`~repro.subscribe.delta.NodeRecord` (the
+   interning side channel — id ↔ ``(element, sem)`` bindings for nodes
+   the replica has never seen);
+2. apply every :class:`~repro.subscribe.delta.EdgeRecord` in order
+   (``add_edge`` appends rightmost exactly like the writer's, so child
+   order — XML document order — is reproduced, not approximated);
+3. mirror garbage collection: any touched non-root node left with no
+   incident edges is dropped, which is precisely the writer's at-rest
+   invariant (events record *every* edge removal, including the GC
+   pass's — see ``docs/event-schema.md``).
+
+Folding is strict — an event referencing unknown state raises
+:class:`~repro.errors.ReplicaDivergedError` rather than papering over a
+gap — and coarse events (store rebuilds) raise
+:class:`~repro.errors.ReplicaStaleError`, which the background fold loop
+answers by re-bootstrapping from a fresh snapshot.  Reads run the same
+:class:`~repro.core.dag_eval.DagXPathEvaluator` as the writer, against a
+lazily rebuilt topological order (no reachability index — descendant
+regions fall back to edge walks, the writer's own mid-batch strategy).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.atg.model import ATG
+from repro.core.dag_eval import DagXPathEvaluator, EvalResult
+from repro.core.topo import TopoOrder
+from repro.errors import (
+    ReplayGapError,
+    ReplicaDivergedError,
+    ReplicaError,
+    ReplicaStaleError,
+)
+from repro.subscribe.delta import ViewEvent
+from repro.views.store import ViewStore
+from repro.xpath.ast import XPath
+from repro.xpath.parser import parse_xpath
+
+
+class ReplicaView:
+    """A read-only mirror of one published view, fed by the changefeed.
+
+    Parameters
+    ----------
+    atg:
+        The view definition σ.  Replicas construct their own ATG (view
+        definitions are code, not data); it is verified against the
+        snapshot's embedded fingerprint at bootstrap.
+    transport:
+        Where snapshots and events come from: an
+        :class:`~repro.replica.transport.InProcessTransport` around a
+        local service, or a
+        :class:`~repro.replica.transport.SocketTransport` to a
+        :class:`~repro.replica.transport.ReplicationServer`.
+    auto_rebootstrap:
+        Whether the background fold loop answers staleness (a coarse
+        event, a replay gap) with a fresh bootstrap instead of stopping
+        with the error recorded on :attr:`error`.
+    max_bootstrap_attempts:
+        How many snapshot+attach rounds :meth:`bootstrap` tries before
+        giving up (each :class:`~repro.errors.ReplayGapError` retries
+        with a fresh snapshot at or past ``oldest_available``).
+    """
+
+    def __init__(
+        self,
+        atg: ATG,
+        transport,
+        auto_rebootstrap: bool = True,
+        max_bootstrap_attempts: int = 5,
+    ):
+        self.atg = atg
+        self.transport = transport
+        self.auto_rebootstrap = auto_rebootstrap
+        self.max_bootstrap_attempts = max_bootstrap_attempts
+        self._cond = threading.Condition()
+        self._stop = False
+        self._thread: threading.Thread | None = None
+        self._feed = None
+        self._topo: TopoOrder | None = None
+        self._topo_dirty = True
+        self.store: ViewStore | None = None
+        """The mirrored store (``None`` until :meth:`bootstrap`)."""
+        self.generation = -1
+        """Generation of the last state folded in (-1 = not bootstrapped);
+        reads at :meth:`wait_for` ``(g)`` see every write up to ``g``."""
+        self.events_folded = 0
+        """Events applied since construction (across re-bootstraps)."""
+        self.snapshots_loaded = 0
+        """Bootstrap rounds completed (>1 means re-bootstrapped)."""
+        self.error: BaseException | None = None
+        """Why the background fold loop stopped, if it stopped sadly."""
+
+    # -- bootstrap ----------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, atg: ATG, snapshot) -> "ReplicaView":
+        """An offline replica serving reads from a loaded artifact.
+
+        No transport, no feed — the mirror is frozen at
+        ``snapshot.generation``.  Useful for point-in-time queries over
+        a saved ``snapshots/*.pkl.gz`` artifact
+        (``python -m repro.replica --snapshot PATH``).
+        """
+        replica = cls(atg, transport=None)
+        store = snapshot.restore_store(atg)
+        with replica._cond:
+            replica.store = store
+            replica.generation = snapshot.generation
+            replica.snapshots_loaded = 1
+        return replica
+
+    def bootstrap(self) -> int:
+        """Fetch a snapshot, restore the store, attach the feed gaplessly.
+
+        Returns the snapshot generation the replica is now at.  When the
+        writer's replay buffer has already evicted that generation the
+        attach raises :class:`~repro.errors.ReplayGapError`; the retry
+        loop uses its ``oldest_available`` field to insist on a fresh
+        enough snapshot instead of string-parsing the message.  Safe to
+        call again at any time (re-bootstrap): the mirror is replaced
+        wholesale.
+        """
+        floor_needed = 0
+        last_gap: ReplayGapError | None = None
+        for _ in range(self.max_bootstrap_attempts):
+            snapshot = self.transport.snapshot()
+            if snapshot.generation < floor_needed:
+                # The transport handed back a snapshot older than the
+                # writer's replay floor (e.g. a cached artifact); an
+                # attach would only raise the same gap again.
+                continue
+            store = snapshot.restore_store(self.atg)
+            try:
+                feed = self.transport.subscribe(snapshot.generation)
+            except ReplayGapError as exc:
+                floor_needed = exc.oldest_available
+                last_gap = exc
+                continue
+            with self._cond:
+                if self._feed is not None:
+                    self._feed.close()
+                self._feed = feed
+                self.store = store
+                self.generation = snapshot.generation
+                self.snapshots_loaded += 1
+                self._topo_dirty = True
+                self.error = None
+                self._cond.notify_all()
+            return snapshot.generation
+        raise ReplicaStaleError(
+            f"could not bootstrap within {self.max_bootstrap_attempts} "
+            f"attempts: snapshots kept trailing the writer's replay floor "
+            f"({floor_needed})"
+        ) from last_gap
+
+    # -- folding ------------------------------------------------------------------
+
+    def apply_event(self, event: ViewEvent) -> bool:
+        """Fold one published event into the mirror.
+
+        Returns ``False`` for events at or before the replica's current
+        generation (replay overlap during attach is normal), ``True``
+        when state advanced.  Strict: unknown endpoints raise
+        :class:`~repro.errors.ReplicaDivergedError`, coarse events raise
+        :class:`~repro.errors.ReplicaStaleError`.
+        """
+        with self._cond:
+            if self.store is None:
+                raise ReplicaError("bootstrap() the replica before folding")
+            if event.generation <= self.generation:
+                return False
+            if event.coarse:
+                raise ReplicaStaleError(
+                    f"coarse event at generation {event.generation} "
+                    f"(reason={event.reason!r}): the edge list does not "
+                    f"describe the change; re-bootstrap from a snapshot"
+                )
+            store = self.store
+            for rec in event.nodes:
+                store.ensure_node(rec.node, rec.element, rec.sem)
+            touched: set[int] = set()
+            for rec in event.edges:
+                if not store.has_node(rec.parent) or not store.has_node(
+                    rec.child
+                ):
+                    raise ReplicaDivergedError(
+                        f"event at generation {event.generation} references "
+                        f"unknown node(s) {rec.parent}->{rec.child}; the "
+                        f"mirror has drifted — re-bootstrap"
+                    )
+                if rec.kind == "insert":
+                    store.add_edge(rec.parent, rec.child)
+                else:
+                    store.remove_edge(rec.parent, rec.child)
+                touched.add(rec.parent)
+                touched.add(rec.child)
+            # Mirror the writer's GC invariant: at rest, every non-root
+            # node has at least one incident edge.  Events record every
+            # edge removal (the GC pass's included), so any touched node
+            # left isolated here is exactly a node the writer collected.
+            for node in sorted(touched):
+                if (
+                    node != store.root_id
+                    and store.has_node(node)
+                    and not store.children_of(node)
+                    and not store.parents_of(node)
+                ):
+                    store.remove_node(node)
+            self.generation = event.generation
+            self.events_folded += 1
+            self._topo_dirty = True
+            self._cond.notify_all()
+            return True
+
+    def pump(self, timeout: float = 0.0) -> int:
+        """Fold every event currently available on the feed (foreground).
+
+        ``timeout`` is the per-event wait passed to the feed; ``0.0``
+        drains without blocking.  Returns the number of events folded.
+        Staleness is handled like the background loop: re-bootstrap when
+        :attr:`auto_rebootstrap` is set, raise otherwise.
+        """
+        folded = 0
+        while True:
+            feed = self._feed
+            if feed is None:
+                raise ReplicaError("bootstrap() the replica before pumping")
+            event = feed.next_event(timeout=timeout)
+            if event is None:
+                return folded
+            try:
+                if self.apply_event(event):
+                    folded += 1
+            except ReplicaStaleError:
+                if not self.auto_rebootstrap:
+                    raise
+                self.bootstrap()
+                folded += 1
+
+    def start(self) -> threading.Thread:
+        """Fold the feed on a daemon thread until :meth:`close`.
+
+        Staleness (coarse events, replay gaps) triggers a re-bootstrap
+        when :attr:`auto_rebootstrap` is set; a terminal error lands on
+        :attr:`error` and stops the loop.  Returns the thread.
+        """
+        if self.store is None:
+            self.bootstrap()
+        if self._thread is not None and self._thread.is_alive():
+            return self._thread
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-replica-fold", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def _run(self) -> None:
+        while not self._stop:
+            feed = self._feed
+            if feed is None:
+                return
+            try:
+                event = feed.next_event(timeout=0.25)
+            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                self.error = exc
+                return
+            if event is None:
+                continue
+            try:
+                self.apply_event(event)
+            except (ReplicaStaleError, ReplicaDivergedError) as exc:
+                if not self.auto_rebootstrap:
+                    self.error = exc
+                    return
+                try:
+                    self.bootstrap()
+                except Exception as boot_exc:  # noqa: BLE001
+                    self.error = boot_exc
+                    return
+
+    # -- reads --------------------------------------------------------------------
+
+    def xpath(self, path: str | XPath) -> EvalResult:
+        """Evaluate an XPath locally on the mirrored store.
+
+        Same evaluator as the writer's read path; the topological order
+        is rebuilt lazily after folds, and descendant regions walk edges
+        (no reachability index on replicas).  Results therefore match
+        the writer's at the same generation exactly.
+        """
+        parsed = path if isinstance(path, XPath) else parse_xpath(path)
+        with self._cond:
+            if self.store is None:
+                raise ReplicaError("bootstrap() the replica before reading")
+            if self._topo_dirty or self._topo is None:
+                self._topo = TopoOrder.from_store(self.store)
+                self._topo_dirty = False
+            evaluator = DagXPathEvaluator(self.store, self._topo, None)
+            return evaluator.evaluate(parsed)
+
+    def wait_for(self, generation: int, timeout: float | None = None) -> int:
+        """Read-your-generation fencing: block until ``generation`` folded.
+
+        A client that observed the writer accept generation ``g`` calls
+        ``wait_for(g)`` before reading, guaranteeing the replica's
+        answers include that write.  Returns the replica's current
+        generation (>= ``generation``); raises :class:`TimeoutError`
+        when ``timeout`` (seconds) elapses first.
+        """
+        with self._cond:
+            reached = self._cond.wait_for(
+                lambda: self.generation >= generation, timeout=timeout
+            )
+            if not reached:
+                raise TimeoutError(
+                    f"replica is at generation {self.generation}, did not "
+                    f"reach {generation} within {timeout}s"
+                )
+            return self.generation
+
+    def lag(self) -> int:
+        """Generations behind the writer (via the transport's head)."""
+        return max(0, self.transport.head() - self.generation)
+
+    # -- state --------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The mirror's :meth:`~repro.views.store.ViewStore.export_state`."""
+        with self._cond:
+            if self.store is None:
+                raise ReplicaError("bootstrap() the replica first")
+            return self.store.export_state()
+
+    def digest(self) -> str:
+        """The mirror's store digest (equal to the writer's ⇔ converged)."""
+        with self._cond:
+            if self.store is None:
+                raise ReplicaError("bootstrap() the replica first")
+            return self.store.digest()
+
+    def stats(self) -> dict:
+        """JSON-safe replica statistics (generation, folds, bootstraps)."""
+        with self._cond:
+            return {
+                "generation": self.generation,
+                "events_folded": self.events_folded,
+                "snapshots_loaded": self.snapshots_loaded,
+                "nodes": self.store.num_nodes if self.store else 0,
+                "edges": self.store.num_edges if self.store else 0,
+                "running": bool(self._thread and self._thread.is_alive()),
+            }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the fold loop and detach from the feed (idempotent)."""
+        self._stop = True
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        with self._cond:
+            if self._feed is not None:
+                self._feed.close()
+                self._feed = None
+            self._cond.notify_all()
+
+    def __enter__(self) -> "ReplicaView":
+        """Context-manager entry (bootstraps if needed)."""
+        if self.store is None:
+            self.bootstrap()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReplicaView(gen={self.generation} folded={self.events_folded} "
+            f"snapshots={self.snapshots_loaded})"
+        )

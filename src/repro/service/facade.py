@@ -3,7 +3,7 @@
 ``repro.open_view(atg, db, config=ViewConfig(...))`` is the public front
 door of the system: it publishes the view once and returns a service
 whose write path is the typed operation algebra (:mod:`repro.ops`) and
-whose read path (:meth:`ViewService.xpath`, :meth:`ViewService.snapshot`)
+whose read path (:meth:`ViewService.xpath`, :meth:`ViewService.xml_tree`)
 is safe to call from other threads while updates — including their
 "background" Δ(M,L) maintenance — are in flight, via a write-preferring
 readers–writer lock.
@@ -229,10 +229,29 @@ class ViewService:
     # Drop-in alias for code migrating from the updater surface.
     evaluate_xpath = xpath
 
-    def snapshot(self) -> XMLNode:
-        """The current XML view, unfolded to an (uncompressed) tree."""
+    def snapshot(self):
+        """A durable, generation-stamped replication snapshot.
+
+        Returns a :class:`~repro.replica.snapshot.Snapshot` artifact —
+        the complete store state plus config and provenance metadata,
+        captured under the read lock so it is consistent with one
+        generation.  ``snapshot.save(path)`` /
+        ``Snapshot.load(path)`` round-trip it through a gzip-compressed
+        file; a :class:`~repro.replica.ReplicaView` bootstraps from it
+        and resumes the changefeed at ``snapshot.generation``.
+
+        .. note:: Before 0.7.0 this method returned the unfolded XML
+           tree; that read moved to :meth:`xml_tree`.
+        """
+        from repro.replica.snapshot import Snapshot
+
         with self._lock.read():
-            return self.updater.xml_tree()
+            return Snapshot.capture(
+                self.updater.store,
+                generation=self.updater._version,
+                config=self.config.to_dict(),
+                index_backend=self.updater.index_backend,
+            )
 
     def check_consistency(self) -> list[str]:
         """Verify state against a fresh republish; [] means consistent.
@@ -247,6 +266,7 @@ class ViewService:
         with self._lock.read():
             store = self.updater.store
             return {
+                "generation": self.updater._version,
                 "nodes": store.num_nodes,
                 "edges": store.num_edges,
                 "reach_pairs": len(self.updater.reach),
@@ -301,8 +321,9 @@ class ViewService:
         return self.updater.maintenance_runs
 
     def xml_tree(self) -> XMLNode:
-        """Alias of :meth:`snapshot` (updater-surface compatibility)."""
-        return self.snapshot()
+        """The current XML view, unfolded to an (uncompressed) tree."""
+        with self._lock.read():
+            return self.updater.xml_tree()
 
     # -- helpers ------------------------------------------------------------------
 

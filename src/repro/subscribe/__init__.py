@@ -13,8 +13,10 @@ Public entry point: :meth:`repro.service.ViewService.subscribe`.
 from repro.subscribe.delta import (
     SCHEMA_VERSION,
     EdgeRecord,
+    NodeRecord,
     ViewEvent,
     coalesce,
+    node_records_for,
 )
 from repro.subscribe.deps import (
     QueryProfile,
@@ -26,8 +28,10 @@ from repro.subscribe.engine import Subscription, SubscriptionRegistry
 __all__ = [
     "SCHEMA_VERSION",
     "EdgeRecord",
+    "NodeRecord",
     "ViewEvent",
     "coalesce",
+    "node_records_for",
     "QueryProfile",
     "first_affected_step",
     "profile_query",

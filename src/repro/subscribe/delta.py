@@ -105,6 +105,86 @@ class EdgeRecord:
         )
 
 
+#: JSON scalar types a node's sem tuple may carry on the wire.
+_SEM_SCALARS = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """One interning decision: node ``id`` ↔ ``(element, sem)``.
+
+    The node-interning side channel for replication: edge records name
+    nodes by id only, so a replica folding an insert for a node it has
+    never seen needs the writer's ``(element, sem)`` binding for that
+    id.  Every published event carries a record for each node appearing
+    as an endpoint of one of its insert edges (captured before garbage
+    collection, so endpoints that die within the same event are still
+    described).  Pure metadata for subscription maintenance — the
+    engine ignores it.
+    """
+
+    node: int
+    element: str
+    sem: tuple
+
+    def to_dict(self) -> dict:
+        """The JSON wire form (``sem`` travels as a list)."""
+        return {
+            "node": self.node,
+            "element": self.element,
+            "sem": list(self.sem),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NodeRecord":
+        """Decode one wire-form node record (strict: bad shapes raise)."""
+        if not isinstance(payload, dict):
+            raise EventDecodeError(
+                f"node record must be an object, got {payload!r}"
+            )
+        sem = _expect(payload, "sem", list, "node record")
+        for value in sem:
+            if not isinstance(value, _SEM_SCALARS):
+                raise EventDecodeError(
+                    f"node record sem values must be JSON scalars, "
+                    f"got {value!r}"
+                )
+        return cls(
+            node=_expect(payload, "node", int, "node record"),
+            element=_expect(payload, "element", str, "node record"),
+            sem=tuple(sem),
+        )
+
+
+def node_records_for(
+    store: ViewStore, records: Iterable[EdgeRecord]
+) -> list[NodeRecord]:
+    """Interning records for every endpoint of the insert edges.
+
+    Must run while the endpoints are still interned (before garbage
+    collection).  Delete edges need no records: a replica deleting an
+    edge already knows both endpoints.  Deduplicated, in first-seen
+    order.
+    """
+    out: list[NodeRecord] = []
+    seen: set[int] = set()
+    for rec in records:
+        if rec.kind != "insert":
+            continue
+        for node in (rec.parent, rec.child):
+            if node in seen or not store.has_node(node):
+                continue
+            seen.add(node)
+            out.append(
+                NodeRecord(
+                    node=node,
+                    element=store.node_type[node],
+                    sem=store.node_sem[node],
+                )
+            )
+    return out
+
+
 @dataclass
 class ViewEvent:
     """One committed mutation, described for subscription maintenance."""
@@ -115,6 +195,13 @@ class ViewEvent:
     generation equals this value."""
 
     edges: list[EdgeRecord] = field(default_factory=list)
+
+    nodes: list[NodeRecord] = field(default_factory=list)
+    """Interning records for nodes appearing as insert-edge endpoints
+    (see :class:`NodeRecord`).  An additive, optional wire key — schema
+    version 1 decoders that predate it ignore it, and :meth:`from_dict`
+    tolerates payloads without it."""
+
     coarse: bool = False
     """True when ``edges`` does not fully describe the change (base
     update propagation, store rebuilds): every subscription must fully
@@ -146,6 +233,8 @@ class ViewEvent:
 
         ``deferred`` is deliberately absent: published events are always
         batch-coalesced, so the flag is meaningless to consumers.
+        ``nodes`` is an additive optional key (not a version bump — see
+        the compatibility rules in ``docs/event-schema.md``).
         """
         return {
             "schema": SCHEMA_VERSION,
@@ -153,6 +242,7 @@ class ViewEvent:
             "coarse": self.coarse,
             "reason": self.reason,
             "edges": [rec.to_dict() for rec in self.edges],
+            "nodes": [rec.to_dict() for rec in self.nodes],
         }
 
     def to_json(self) -> str:
@@ -171,9 +261,18 @@ class ViewEvent:
                 f"(this library speaks version {SCHEMA_VERSION})"
             )
         edges = _expect(payload, "edges", list, "event")
+        # ``nodes`` was added after v1 froze, as an *optional* key:
+        # payloads from older producers simply lack it.
+        nodes = payload.get("nodes", [])
+        if not isinstance(nodes, list):
+            raise EventDecodeError(
+                f"event key 'nodes' has wrong type: expected a list, "
+                f"got {nodes!r}"
+            )
         return cls(
             generation=_expect(payload, "generation", int, "event"),
             edges=[EdgeRecord.from_dict(rec) for rec in edges],
+            nodes=[NodeRecord.from_dict(rec) for rec in nodes],
             coarse=_expect(payload, "coarse", bool, "event"),
             reason=_expect(payload, "reason", str, "event"),
         )
@@ -232,10 +331,15 @@ def coalesce(events: Iterable[ViewEvent]) -> ViewEvent:
     """
     merged = ViewEvent(generation=0)
     last = None
+    seen_nodes: set[int] = set()
     for event in events:
         merged.generation = max(merged.generation, event.generation)
         merged.coarse = merged.coarse or event.coarse
         merged.edges.extend(event.edges)
+        for rec in event.nodes:
+            if rec.node not in seen_nodes:
+                seen_nodes.add(rec.node)
+                merged.nodes.append(rec)
         if event.reason:
             merged.reason = event.reason
         last = event

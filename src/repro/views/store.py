@@ -15,6 +15,8 @@ kept three ways, all consistent:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Literal
 
@@ -123,6 +125,43 @@ class ViewStore:
         del self.gen[element][node]
         self.children.pop(node, None)
         self.parents.pop(node, None)
+
+    def ensure_node(self, node: int, element: str, sem: tuple) -> bool:
+        """Install ``(element, sem)`` under a *caller-chosen* id.
+
+        The replication fold's counterpart of :meth:`intern`: a replica
+        mirrors the writer's interning decisions instead of making its
+        own, so node ids stay identical across processes.  Returns
+        ``True`` when the node was newly installed, ``False`` when the
+        exact binding already exists; a conflicting binding (same id
+        bound to different data, or same data bound to a different id)
+        raises :class:`~repro.errors.ReproError`.  The id allocator is
+        advanced past ``node`` so local interning never collides.
+        """
+        sem = tuple(sem)
+        key = (element, sem)
+        existing = self._intern.get(key)
+        if existing is not None:
+            if existing != node:
+                raise ReproError(
+                    f"({element}, {sem!r}) is already interned as node "
+                    f"{existing}, cannot rebind to {node}"
+                )
+            return False
+        if node in self.node_type:
+            raise ReproError(
+                f"node id {node} is already bound to "
+                f"({self.node_type[node]}, {self.node_sem[node]!r})"
+            )
+        self._intern[key] = node
+        self.node_type[node] = element
+        self.node_sem[node] = sem
+        self.gen.setdefault(element, {})[node] = sem
+        self.children[node] = []
+        self.parents[node] = set()
+        if node >= self._next_id:
+            self._next_id = node + 1
+        return True
 
     def release_ids(self, ids: Iterable[int]) -> None:
         """Return already-removed node ids to the allocator if possible.
@@ -254,6 +293,78 @@ class ViewStore:
             return 0.0
         shared = sum(1 for n in self.node_type if self.in_degree(n) > 1)
         return shared / len(self.node_type)
+
+    # -- export / import (replication snapshots) --------------------------------------
+
+    def export_state(self) -> dict:
+        """The complete store state as one JSON-safe dict.
+
+        The shape feeds replication snapshots
+        (:class:`repro.replica.Snapshot`) and byte-level equality
+        checks: two stores with equal ``export_state()`` are
+        behaviourally identical (same interning table, same id
+        allocator, same ordered edges).  Keys:
+
+        - ``next_id`` — the id allocator watermark;
+        - ``root`` — the root node id (or ``None`` pre-publish);
+        - ``nodes`` — ``[id, element, [sem...]]`` rows, sorted by id;
+        - ``children`` — ``[parent, [child...]]`` rows for nodes with
+          children, sorted by parent, child lists in document order.
+
+        Parent sets and per-type-pair edge relations are derived on
+        import.  Sem values must be JSON scalars for the dict to be
+        JSON-safe (true for every built-in workload).
+        """
+        return {
+            "next_id": self._next_id,
+            "root": self.root_id,
+            "nodes": [
+                [node, self.node_type[node], list(self.node_sem[node])]
+                for node in sorted(self.node_type)
+            ],
+            "children": [
+                [node, list(kids)]
+                for node, kids in sorted(self.children.items())
+                if kids
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, atg: ATG, state: dict) -> "ViewStore":
+        """Rebuild a store from :meth:`export_state` output.
+
+        The ATG is not part of the state (view definitions are code, not
+        data — snapshots carry only a fingerprint); the caller supplies
+        the same ATG the exporting store was published from.  Round-trip
+        is lossless: ``from_state(atg, s.export_state()).export_state()
+        == s.export_state()``.
+        """
+        store = cls(atg)
+        try:
+            for node, element, sem in state["nodes"]:
+                store.ensure_node(node, element, tuple(sem))
+            for parent, kids in state["children"]:
+                for child in kids:
+                    store.add_edge(parent, child)
+            store.root_id = state["root"]
+            store._next_id = max(store._next_id, state["next_id"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed store state: {exc!r}") from exc
+        return store
+
+    def canonical_bytes(self) -> bytes:
+        """:meth:`export_state` as canonical (sorted, compact) JSON."""
+        return json.dumps(
+            self.export_state(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes`.
+
+        Two stores with equal digests hold byte-identical state — the
+        convergence check replicas and the replication demo use.
+        """
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
     # -- relational materialization ---------------------------------------------------
 

@@ -71,6 +71,30 @@ class TestRun:
         assert code == 0
         assert "1 accepted" in capsys.readouterr().out
 
+    def test_stats_reports_generation_and_buffer(self, capsys):
+        code = run(iter(OPS), workload="registrar", show_stats=True)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "index backend:" in out  # benchmark provenance preserved
+        # Snapshot-freshness line: the feed attaches lazily, so nothing
+        # is retained yet and the replay floor sits at the head.
+        assert "generation: 4; changefeed buffer: 0/256 event(s) retained" \
+            in out
+        assert "replay floor 4" in out
+
+    def test_snapshot_flag_writes_loadable_artifact(self, tmp_path, capsys):
+        from repro.replica import Snapshot
+
+        path = tmp_path / "view.pkl.gz"
+        code = run(iter(OPS), workload="registrar", snapshot_path=str(path))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "snapshot: generation 4," in out
+        assert str(path) in out
+        snapshot = Snapshot.load(path)
+        assert snapshot.generation == 4
+        assert snapshot.num_nodes > 0
+
 
 MIXED_LINES = [
     '{"op": "delete", "path": "course[cno=CS650]/prereq/course[cno=CS320]"}',

@@ -445,6 +445,37 @@ class TestReplay:
         feed = service.changefeed(since=info.value.floor)
         assert [e.generation for e in feed.events()] == generations[-2:]
 
+    def test_gap_at_exact_compaction_boundary(self):
+        # Satellite of ISSUE 7: walk the resume point across the wrap
+        # boundary of the bounded replay buffer one generation at a
+        # time, and pin down the error payload a replica needs for
+        # re-bootstrap (``oldest_available``).
+        service = registrar_service(changefeed_retention=3)
+        full = service.changefeed()
+        cycle = [
+            DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+            InsertOp("course[cno=CS650]/prereq", "course",
+                     ("CS320", "Databases")),
+        ]
+        for op in cycle * 3:  # 6 commits >> retention of 3
+            assert service.apply(op).accepted
+        generations = [e.generation for e in full.events()]
+        assert len(generations) == 6
+        floor = generations[-4]  # newest evicted generation
+        # One before the boundary: gap, typed, with the resume floor.
+        with pytest.raises(ReplayGapError) as info:
+            service.changefeed(since=floor - 1)
+        assert info.value.since == floor - 1
+        assert info.value.floor == floor
+        assert info.value.oldest_available == floor
+        # At the boundary: attaches gaplessly with the retained suffix.
+        feed = service.changefeed(since=floor)
+        assert [e.generation for e in feed.events()] == generations[-3:]
+        # The hub agrees about what is retained.
+        stats = service.stats()["changefeed"]
+        assert stats["retained"] == 3
+        assert stats["floor"] == floor
+
     def test_events_before_first_changefeed_are_not_retained(self):
         service = registrar_service()
         service.apply(DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"))

@@ -1,0 +1,569 @@
+"""Tests for the replication subsystem (``repro.replica``).
+
+The contract under test (normative doc: ``docs/replication.md``):
+
+- ``service.snapshot()`` produces a generation-stamped, schema-versioned
+  artifact whose save/load round-trip is lossless and whose loader
+  rejects mismatched schema versions and view definitions with typed
+  errors;
+- a :class:`ReplicaView` bootstrapped from a snapshot and folding the
+  changefeed converges to a store *byte-identical* to the writer's at
+  every generation it reaches, including replicas that attach mid-stream
+  (the Hypothesis acceptance property);
+- reads are fenced (``wait_for``), strict (divergence raises), and
+  recover from staleness (coarse events, replay gaps) by
+  re-bootstrapping — using ``ReplayGapError.oldest_available``;
+- the socket transport carries snapshots, events and typed errors
+  end-to-end.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import __version__
+from repro.errors import (
+    ReplicaDivergedError,
+    ReplicaError,
+    ReplicaStaleError,
+    ReplayGapError,
+    ReproError,
+    SnapshotError,
+    SnapshotMismatchError,
+    SnapshotSchemaError,
+)
+from repro.ops import BaseUpdateOp, DeleteOp, InsertOp, ReplaceOp
+from repro.replica import (
+    SNAPSHOT_SCHEMA_VERSION,
+    InProcessTransport,
+    ReplicaView,
+    ReplicationServer,
+    Snapshot,
+    SocketTransport,
+    atg_fingerprint,
+)
+from repro.service import ViewConfig, open_view
+from repro.subscribe import NodeRecord, ViewEvent, coalesce
+from repro.subscribe.delta import EdgeRecord
+from repro.views.store import ViewStore
+from repro.workloads import REGISTRAR_QUERIES
+from repro.workloads.bom import build_bom
+from repro.workloads.registrar import build_registrar
+
+
+def registrar_service(**config):
+    atg, db = build_registrar()
+    config.setdefault("side_effects", "propagate")
+    config.setdefault("strict", False)
+    return open_view(atg, db, config=ViewConfig(**config))
+
+
+OPS = [
+    DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
+    InsertOp(
+        "course[cno=CS650]/prereq", "course", ("CS500", "Operating Systems")
+    ),
+    ReplaceOp(
+        "course[cno=CS650]/prereq/course[cno=CS500]",
+        "course",
+        ("CS700", "Theory"),
+    ),
+]
+
+
+def assert_converged(service, replica):
+    assert replica.generation == service.stats()["generation"]
+    assert replica.export_state() == service.store.export_state()
+    assert replica.digest() == service.store.digest()
+    for query in REGISTRAR_QUERIES:
+        assert sorted(replica.xpath(query).targets) == sorted(
+            service.xpath(query).targets
+        ), f"replica xpath drifted for {query!r}"
+
+
+# ---------------------------------------------------------------------------
+# The snapshot artifact
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotArtifact:
+    def test_capture_embeds_generation_and_provenance(self):
+        service = registrar_service()
+        service.apply(OPS[0])
+        snapshot = service.snapshot()
+        assert snapshot.generation == service.stats()["generation"] == 1
+        assert snapshot.schema_version == SNAPSHOT_SCHEMA_VERSION
+        prov = snapshot.provenance
+        assert prov["library_version"] == __version__
+        assert prov["atg_fingerprint"] == atg_fingerprint(service.atg)
+        assert prov["nodes"] == service.store.num_nodes
+        assert prov["edges"] == service.store.num_edges
+        assert "created_at" in prov
+        # The embedded config decodes back to the writer's exact config.
+        assert ViewConfig.from_dict(snapshot.config) == service.config
+
+    def test_save_load_round_trip_is_lossless(self, tmp_path):
+        service = registrar_service()
+        service.apply(OPS[0])
+        snapshot = service.snapshot()
+        path = tmp_path / "view.pkl.gz"
+        snapshot.save(path)
+        assert Snapshot.load(path) == snapshot
+
+    def test_json_round_trip(self):
+        snapshot = registrar_service().snapshot()
+        assert Snapshot.from_json(snapshot.to_json()) == snapshot
+
+    def test_restore_store_is_byte_identical(self):
+        service = registrar_service()
+        for op in OPS:
+            service.apply(op)
+        snapshot = service.snapshot()
+        store = snapshot.restore_store(service.atg)
+        assert store.export_state() == service.store.export_state()
+        assert store.digest() == service.store.digest()
+
+    def test_mismatched_schema_version_raises_typed_error(self, tmp_path):
+        snapshot = registrar_service().snapshot()
+        payload = snapshot.to_dict()
+        payload["schema_version"] = SNAPSHOT_SCHEMA_VERSION + 1
+        with pytest.raises(SnapshotSchemaError) as info:
+            Snapshot.from_dict(payload)
+        assert info.value.found == SNAPSHOT_SCHEMA_VERSION + 1
+        assert info.value.expected == SNAPSHOT_SCHEMA_VERSION
+
+    def test_foreign_or_corrupt_artifacts_raise(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            Snapshot.from_dict({"format": "something-else"})
+        with pytest.raises(SnapshotError):
+            Snapshot.from_dict({"format": "repro-snapshot"})  # no version
+        path = tmp_path / "garbage.pkl.gz"
+        path.write_bytes(b"not gzip at all")
+        with pytest.raises(SnapshotError):
+            Snapshot.load(path)
+
+    def test_wrong_view_definition_raises_mismatch(self):
+        snapshot = registrar_service().snapshot()
+        bom_atg, _ = build_bom()
+        with pytest.raises(SnapshotMismatchError):
+            snapshot.restore_store(bom_atg)
+        # Fingerprints are deterministic across ATG constructions.
+        atg1, _ = build_registrar()
+        atg2, _ = build_registrar()
+        assert atg_fingerprint(atg1) == atg_fingerprint(atg2)
+
+
+# ---------------------------------------------------------------------------
+# The node-interning side channel (wire format)
+# ---------------------------------------------------------------------------
+
+
+class TestNodeRecordWire:
+    def test_round_trip(self):
+        record = NodeRecord(node=4, element="course", sem=("CS650", "AI"))
+        assert NodeRecord.from_dict(record.to_dict()) == record
+
+    def test_event_nodes_key_is_optional(self):
+        # Producers that predate the key still decode (additive change,
+        # not a schema bump — docs/event-schema.md compatibility rules).
+        event = ViewEvent(generation=3, reason="delete")
+        payload = event.to_dict()
+        assert payload["nodes"] == []
+        del payload["nodes"]
+        assert ViewEvent.from_dict(payload).nodes == []
+
+    def test_insert_events_carry_interning_records(self):
+        service = registrar_service()
+        feed = service.changefeed()
+        service.apply(OPS[0])
+        assert feed.events()[0].nodes == []  # pure delete: no new nodes
+        service.apply(OPS[1])
+        event = feed.events()[0]
+        by_id = {rec.node: rec for rec in event.nodes}
+        inserted = {
+            rec.child for rec in event.edges if rec.kind == "insert"
+        } | {rec.parent for rec in event.edges if rec.kind == "insert"}
+        assert set(by_id) == inserted
+        for rec in event.nodes:
+            assert rec.element == service.store.node_type[rec.node]
+            assert rec.sem == service.store.node_sem[rec.node]
+
+    def test_coalesce_merges_nodes_deduplicated(self):
+        a = ViewEvent(
+            generation=1,
+            nodes=[NodeRecord(1, "course", ("CS1",))],
+        )
+        b = ViewEvent(
+            generation=2,
+            nodes=[
+                NodeRecord(1, "course", ("CS1",)),
+                NodeRecord(2, "cno", ("CS1",)),
+            ],
+        )
+        merged = coalesce([a, b])
+        assert [rec.node for rec in merged.nodes] == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Store export/import and ensure_node (unit level)
+# ---------------------------------------------------------------------------
+
+
+class TestStoreExportImport:
+    def test_ensure_node_mirrors_and_guards(self):
+        atg, db = build_registrar()
+        store = ViewStore(atg)
+        assert store.ensure_node(5, "course", ("CS1", "T")) is True
+        assert store.ensure_node(5, "course", ("CS1", "T")) is False
+        assert store._next_id == 6  # allocator advanced past the id
+        with pytest.raises(ReproError):
+            store.ensure_node(9, "course", ("CS1", "T"))  # same data, new id
+        with pytest.raises(ReproError):
+            store.ensure_node(5, "course", ("CS2", "U"))  # same id, new data
+
+    def test_from_state_rejects_malformed_payloads(self):
+        atg, _ = build_registrar()
+        with pytest.raises(ReproError):
+            ViewStore.from_state(atg, {"nodes": [[0, "course"]]})
+
+
+# ---------------------------------------------------------------------------
+# Bootstrap + fold
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaFold:
+    def test_bootstrap_then_fold_converges(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        assert replica.bootstrap() == 0
+        for op in OPS:
+            service.apply(op)
+        assert replica.pump() == len(OPS)
+        assert_converged(service, replica)
+        assert replica.lag() == 0
+
+    def test_batches_undo_and_base_updates_fold(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        replica.bootstrap()
+        with service.batch() as batch:
+            batch.apply(OPS[0])
+            batch.apply(OPS[1])
+        outcome = service.apply(
+            DeleteOp("course[cno=CS650]/prereq/course[cno=CS500]")
+        )
+        service.undo(outcome)
+        service.apply(BaseUpdateOp(ops=(
+            ("insert", "course", ("CS901", "Seminar", "CS")),
+        )))
+        replica.pump()
+        assert_converged(service, replica)
+
+    def test_mid_stream_bootstrap_converges(self):
+        service = registrar_service()
+        service.changefeed().close()  # retain from generation 0
+        service.apply(OPS[0])
+        service.apply(OPS[1])
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        started = replica.bootstrap()
+        assert started == service.stats()["generation"]
+        service.apply(OPS[2])
+        replica.pump()
+        assert_converged(service, replica)
+
+    def test_replay_overlap_is_ignored(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        replica.bootstrap()
+        service.apply(OPS[0])
+        event = replica._feed.next_event(timeout=1.0)
+        assert replica.apply_event(event) is True
+        assert replica.apply_event(event) is False  # duplicate delivery
+        assert replica.events_folded == 1
+
+    def test_coarse_event_raises_stale(self):
+        service = registrar_service()
+        replica = ReplicaView(
+            service.atg, InProcessTransport(service), auto_rebootstrap=False
+        )
+        replica.bootstrap()
+        with pytest.raises(ReplicaStaleError):
+            replica.apply_event(
+                ViewEvent(generation=99, coarse=True, reason="rebuild")
+            )
+
+    def test_unknown_endpoint_raises_diverged(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        replica.bootstrap()
+        rogue = ViewEvent(
+            generation=99,
+            edges=[EdgeRecord("insert", "prereq", "course", 7, 12345)],
+        )
+        with pytest.raises(ReplicaDivergedError):
+            replica.apply_event(rogue)
+
+    def test_reads_require_bootstrap(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        with pytest.raises(ReplicaError):
+            replica.xpath("course")
+        with pytest.raises(ReplicaError):
+            replica.digest()
+        with pytest.raises(ReplicaError):
+            replica.pump()
+
+    def test_offline_replica_from_saved_artifact(self, tmp_path):
+        service = registrar_service()
+        for op in OPS:
+            service.apply(op)
+        path = tmp_path / "view.pkl.gz"
+        service.snapshot().save(path)
+        replica = ReplicaView.from_snapshot(
+            service.atg, Snapshot.load(path)
+        )
+        assert replica.generation == service.stats()["generation"]
+        for query in REGISTRAR_QUERIES:
+            assert sorted(replica.xpath(query).targets) == sorted(
+                service.xpath(query).targets
+            )
+
+    def test_wait_for_fences_background_folding(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        replica.start()  # bootstraps and folds on a daemon thread
+        for op in OPS:
+            service.apply(op)
+        generation = service.stats()["generation"]
+        assert replica.wait_for(generation, timeout=10.0) >= generation
+        assert_converged(service, replica)
+        with pytest.raises(TimeoutError):
+            replica.wait_for(generation + 50, timeout=0.05)
+        replica.close()
+        assert replica.error is None
+
+    def test_stats_shape(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        replica.bootstrap()
+        stats = replica.stats()
+        assert stats["generation"] == 0
+        assert stats["snapshots_loaded"] == 1
+        assert stats["running"] is False
+
+
+# ---------------------------------------------------------------------------
+# Staleness recovery (re-bootstrap)
+# ---------------------------------------------------------------------------
+
+
+class _StaleSnapshotTransport(InProcessTransport):
+    """Serves one pre-captured (stale) snapshot before going live."""
+
+    def __init__(self, service, stale):
+        super().__init__(service)
+        self._stale = stale
+        self.snapshots_served = 0
+
+    def snapshot(self):
+        self.snapshots_served += 1
+        if self._stale is not None:
+            stale, self._stale = self._stale, None
+            return stale
+        return super().snapshot()
+
+
+class TestRebootstrap:
+    def test_gap_retry_uses_oldest_available(self):
+        service = registrar_service(changefeed_retention=2)
+        service.changefeed().close()
+        stale = service.snapshot()  # generation 0
+        for _ in range(4):  # overflow the 2-event replay buffer
+            service.apply(OPS[0])
+            service.apply(OPS[1])
+        transport = _StaleSnapshotTransport(service, stale)
+        replica = ReplicaView(service.atg, transport)
+        replica.bootstrap()
+        # First attempt hit the gap; the retry demanded a snapshot at or
+        # past ReplayGapError.oldest_available and succeeded.
+        assert transport.snapshots_served == 2
+        assert replica.snapshots_loaded == 1
+        replica.pump()
+        assert_converged(service, replica)
+
+    def test_bootstrap_gives_up_with_typed_error(self):
+        service = registrar_service(changefeed_retention=2)
+        service.changefeed().close()
+        stale = service.snapshot()
+        for _ in range(4):
+            service.apply(OPS[0])
+            service.apply(OPS[1])
+
+        class AlwaysStale(InProcessTransport):
+            def snapshot(self):
+                return stale
+
+        replica = ReplicaView(
+            service.atg, AlwaysStale(service), max_bootstrap_attempts=3
+        )
+        with pytest.raises(ReplicaStaleError):
+            replica.bootstrap()
+
+    def test_coarse_event_triggers_auto_rebootstrap(self):
+        service = registrar_service()
+        replica = ReplicaView(service.atg, InProcessTransport(service))
+        replica.bootstrap()
+        service.apply(OPS[0])
+        with service._lock.write():
+            service.updater.rebuild_structures_only()  # publishes coarse
+        service.apply(OPS[1])
+        replica.pump()
+        assert replica.snapshots_loaded == 2
+        assert_converged(service, replica)
+
+
+# ---------------------------------------------------------------------------
+# The socket transport
+# ---------------------------------------------------------------------------
+
+
+class TestSocketTransport:
+    def test_snapshot_head_subscribe_and_typed_gap(self):
+        service = registrar_service(changefeed_retention=2)
+        service.changefeed().close()
+        with ReplicationServer(service) as server:
+            transport = SocketTransport(*server.address)
+            assert transport.head() == 0
+            snapshot = transport.snapshot()
+            local = service.snapshot()
+            assert snapshot.generation == local.generation
+            assert snapshot.store_state == local.store_state
+            assert snapshot.config == local.config
+            replica = ReplicaView(service.atg, transport)
+            replica.start()
+            for op in OPS:
+                service.apply(op)
+            generation = service.stats()["generation"]
+            assert replica.wait_for(generation, timeout=10.0) >= generation
+            assert_converged(service, replica)
+            assert replica.lag() == 0
+            # Overflow retention: the gap crosses the wire typed, with
+            # oldest_available intact.
+            for _ in range(4):
+                service.apply(OPS[0])
+                service.apply(OPS[1])
+            with pytest.raises(ReplayGapError) as info:
+                transport.subscribe(0)
+            assert info.value.oldest_available == info.value.floor > 0
+            replica.close()
+
+    def test_socket_replica_rebootstraps_over_the_wire(self):
+        service = registrar_service(changefeed_retention=2)
+        service.changefeed().close()
+        with ReplicationServer(service) as server:
+            stale = service.snapshot()
+            for _ in range(4):
+                service.apply(OPS[0])
+                service.apply(OPS[1])
+
+            class StaleOnce(SocketTransport):
+                def __init__(self):
+                    super().__init__(*server.address)
+                    self._stale = stale
+
+                def snapshot(self):
+                    if self._stale is not None:
+                        snap, self._stale = self._stale, None
+                        return snap
+                    return super().snapshot()
+
+            replica = ReplicaView(service.atg, StaleOnce())
+            replica.bootstrap()
+            replica.pump(timeout=0.3)
+            assert_converged(service, replica)
+            replica.close()
+
+
+# ---------------------------------------------------------------------------
+# The acceptance property: byte-identical convergence for arbitrary streams
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def registrar_streams(draw):
+    courses = ("CS650", "CS320", "CS240", "CS700", "CS800")
+    ops = []
+    for position in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(st.sampled_from(
+            ("insert", "delete", "replace", "base", "batch", "abort")
+        ))
+        cno = draw(st.sampled_from(courses))
+        other = draw(st.sampled_from(courses))
+        insert = InsertOp(
+            f"//course[cno={cno}]/prereq", "course",
+            (other, f"Title {other}"),
+        )
+        delete = DeleteOp(f"//course[cno={cno}]/prereq/course")
+        if kind == "insert":
+            ops.append(insert)
+        elif kind == "delete":
+            ops.append(delete)
+        elif kind == "replace":
+            ops.append(ReplaceOp(
+                f"//course[cno={cno}]/prereq/course", "course",
+                (other, f"Title {other}"),
+            ))
+        elif kind == "base":
+            ops.append(BaseUpdateOp(ops=(
+                ("insert", "course", (f"X{cno}{position}", "Fresh", "CS")),
+            )))
+        elif kind == "batch":
+            ops.append([insert, delete])
+        else:
+            ops.append(("abort", insert))
+    return ops
+
+
+@given(registrar_streams())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_replicas_converge_byte_identically(stream):
+    """ISSUE 7 acceptance: for any op stream over the full mutating
+    surface (insert/delete/replace/base/batch/abort), a replica attached
+    at generation 0 AND a replica bootstrapped mid-stream from a fresh
+    snapshot both reach a store byte-identical to the writer's at the
+    final generation, and their local xpath() answers match the writer's
+    for the whole query panel."""
+    service = registrar_service()
+    replica_0 = ReplicaView(service.atg, InProcessTransport(service))
+    replica_0.bootstrap()
+    replica_mid = None
+
+    midpoint = len(stream) // 2
+    for position, item in enumerate(stream):
+        if position == midpoint:
+            replica_mid = ReplicaView(
+                service.atg, InProcessTransport(service)
+            )
+            replica_mid.bootstrap()
+        if isinstance(item, tuple) and item[0] == "abort":
+            plan = service.plan(item[1])
+            if plan.accepted:
+                plan.abort()
+        else:
+            service.apply(item)
+    if replica_mid is None:  # single-op streams have no midpoint
+        replica_mid = ReplicaView(service.atg, InProcessTransport(service))
+        replica_mid.bootstrap()
+
+    replica_0.pump()
+    replica_mid.pump()
+    assert_converged(service, replica_0)
+    assert_converged(service, replica_mid)
+    assert service.check_consistency() == []

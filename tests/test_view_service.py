@@ -416,7 +416,7 @@ class TestApply:
     def test_reads(self):
         service = registrar_service()
         assert len(service.xpath("//course").targets) == 4
-        tree = service.snapshot()
+        tree = service.xml_tree()
         assert tree.tag == "db"
         stats = service.stats()
         assert stats["nodes"] == service.store.num_nodes
@@ -424,12 +424,12 @@ class TestApply:
 
     def test_undo(self):
         service = registrar_service()
-        before = service.snapshot()
+        before = service.xml_tree()
         out = service.apply(REGISTRAR_OPS[0])
         service.undo(out)
         from repro.xmltree.tree import tree_equal
 
-        assert tree_equal(service.snapshot(), before)
+        assert tree_equal(service.xml_tree(), before)
         assert service.check_consistency() == []
 
 
@@ -619,7 +619,7 @@ class TestConcurrency:
             while not stop.is_set():
                 try:
                     service.xpath("//cnode")
-                    service.snapshot()
+                    service.xml_tree()
                 except BaseException as exc:  # noqa: BLE001 - test harness
                     errors.append(exc)
                     return
