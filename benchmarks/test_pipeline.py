@@ -1,0 +1,194 @@
+"""Lock-hold benchmark for the staged commit pipeline (the PR claim).
+
+A writer holding the service's write lock blocks every reader and every
+other writer, so the cost that matters for concurrency is not commit
+latency but **lock hold time** — and before the phase split, the
+critical section contained everything: translation, ΔR application,
+Δ(M,L) repair, the per-subscription dependency scan and changefeed
+fan-out.  The staged pipeline keeps only plan → mutate → maintain under
+the lock, replaces the per-subscription scan with one pattern-bucket
+candidate pass plus the node-watch intersection, and publishes after
+release.
+
+Both modes run the identical op stream against identically built views
+at 1 / 64 / 512 standing subscriptions; results and published events
+must be byte-identical (``commit_pipeline=False`` is the measured
+pre-refactor baseline, not a different engine).  The acceptance claim:
+**≥ 3× lower lock hold time at 512 subscriptions**.  Timings land in
+``BENCH_index.json`` via ``conftest.record_bench`` under the
+``pipeline`` experiment.
+
+Workload shape: one subscription anchored on the toggled enrollment
+plus value-anchored standing queries on courses the op stream never
+touches — the realistic regime where almost every subscription must
+*skip* each commit, which is exactly the work the candidate pass takes
+off the write lock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import record_bench
+
+from repro.ops import BaseUpdateOp
+from repro.relview.insert import reset_fresh_counter
+from repro.service import ViewConfig, open_view
+from repro.workloads.registrar import build_registrar
+
+#: Subscription counts the lock-hold curve is sampled at.
+SUB_COUNTS = (1, 64, 512)
+LARGEST = max(SUB_COUNTS)
+
+#: Committed toggles per measurement (each op bumps one generation).
+COMMITS = 24
+
+#: The one standing query the op stream actually affects.
+MATCHING = "course[cno=CS650]/takenBy/student"
+
+#: Standing queries cycled to the requested count, value-anchored at
+#: courses the op stream never touches: they must skip every commit.
+SKIP_TEMPLATES = (
+    "course[cno=CS240]/prereq/course",
+    "course[cno=CS500]/prereq/course",
+    "course[cno=CS240]/takenBy/student",
+    "course[cno=CS500]/takenBy/student",
+    "course[cno=CS240]/title",
+    "course[cno=CS500]/title",
+)
+
+#: Toggle one enrollment tuple in the base database.  A base-relation
+#: round trip keeps the mutate phase small relative to the
+#: per-subscription scan the legacy mode performs under the lock.
+DELETE = BaseUpdateOp(ops=(("delete", "enroll", ("S01", "CS650")),))
+INSERT = BaseUpdateOp(ops=(("insert", "enroll", ("S01", "CS650")),))
+
+
+def _build(n_subs: int, commit_pipeline: bool):
+    reset_fresh_counter()
+    atg, db = build_registrar()
+    service = open_view(
+        atg,
+        db,
+        config=ViewConfig(
+            side_effects="propagate",
+            strict=False,
+            commit_pipeline=commit_pipeline,
+        ),
+    )
+    subs = [service.subscribe(MATCHING)]
+    subs += [
+        service.subscribe(SKIP_TEMPLATES[i % len(SKIP_TEMPLATES)])
+        for i in range(n_subs - 1)
+    ]
+    return service, subs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_both_modes():
+    # First-use costs (imports, code caches, registrar build paths)
+    # otherwise land entirely on whichever mode runs first.
+    for mode in (True, False):
+        service, _ = _build(8, mode)
+        service.changefeed()
+        for i in range(10):
+            service.apply(DELETE if i % 2 == 0 else INSERT)
+
+
+def _run(n_subs: int, commit_pipeline: bool) -> dict:
+    """One mode's full measurement: timings + observable outputs."""
+    service, subs = _build(n_subs, commit_pipeline)
+    feed = service.changefeed()
+    staged_base = (
+        service.pipeline.stats()["lock_hold_seconds"]
+        if commit_pipeline
+        else 0.0
+    )
+    latency = 0.0
+    published = []
+    for i in range(COMMITS):
+        op = DELETE if i % 2 == 0 else INSERT
+        start = time.perf_counter()
+        service.apply(op)
+        latency += time.perf_counter() - start
+        # Drain outside the timed region so queue depth never feeds
+        # back into either mode's measurement.
+        published.extend(e.to_dict() for e in feed.events())
+    if commit_pipeline:
+        lock_hold = (
+            service.pipeline.stats()["lock_hold_seconds"] - staged_base
+        )
+    else:
+        # Legacy single-phase commit: the write lock is held for the
+        # whole of apply(), so wall time *is* hold time.
+        lock_hold = latency
+    return {
+        "lock_hold": lock_hold,
+        "latency": latency,
+        "published": published,
+        "results": [(sub.path, sub.result(), sub.delta()) for sub in subs],
+        "skips": service.subscriptions.stats()["skips"],
+    }
+
+
+def _measure(n_subs: int) -> tuple[dict, dict]:
+    staged = _run(n_subs, commit_pipeline=True)
+    legacy = _run(n_subs, commit_pipeline=False)
+    # The refactor claim is about *where* work runs, never *what* it
+    # produces: identical events and identical subscription state.
+    assert staged["published"] == legacy["published"]
+    assert staged["results"] == legacy["results"]
+    assert staged["skips"] == legacy["skips"]
+    return staged, legacy
+
+
+@pytest.mark.parametrize("n_subs", SUB_COUNTS)
+def test_pipeline_modes_agree_and_record(n_subs):
+    staged, legacy = _measure(n_subs)
+    experiment = f"pipeline:subs{n_subs}"
+    extra = {"subscriptions": n_subs, "commits": COMMITS}
+    record_bench(
+        experiment, "auto", "legacy_lock_hold", legacy["lock_hold"], **extra
+    )
+    record_bench(
+        experiment, "auto", "staged_lock_hold", staged["lock_hold"], **extra
+    )
+    record_bench(
+        experiment, "auto", "legacy_commit_latency",
+        legacy["latency"], **extra,
+    )
+    record_bench(
+        experiment, "auto", "staged_commit_latency",
+        staged["latency"], **extra,
+    )
+    # The stream must exercise the skip fast path, or the candidate
+    # pass is not what is being measured.
+    if n_subs > 1:
+        assert staged["skips"] > 0
+
+
+@pytest.mark.perf
+def test_staged_lock_hold_3x_lower_at_512_subs():
+    """Acceptance: ≥3× lower writer lock hold at 512 subscriptions."""
+    # Best-of-3 per mode (the repo's standard noise estimator, see
+    # test_coarse_fallback): scheduler hiccups only ever inflate a
+    # timing, so the minimum is the least-noisy estimate of each
+    # mode's true cost.
+    staged_hold = float("inf")
+    legacy_hold = float("inf")
+    for _ in range(3):
+        staged, legacy = _measure(LARGEST)
+        staged_hold = min(staged_hold, staged["lock_hold"])
+        legacy_hold = min(legacy_hold, legacy["lock_hold"])
+    ratio = legacy_hold / max(staged_hold, 1e-9)
+    record_bench(
+        f"pipeline:subs{LARGEST}", "auto", "lock_hold_reduction",
+        0.0, ratio=round(ratio, 2),
+    )
+    assert ratio >= 3.0, (
+        f"staged pipeline lock hold only {ratio:.2f}x lower than the "
+        f"legacy critical section at {LARGEST} subscriptions "
+        f"(best-of-3: legacy {legacy_hold:.4f}s vs "
+        f"staged {staged_hold:.4f}s over {COMMITS} commits)"
+    )

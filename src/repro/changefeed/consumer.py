@@ -19,12 +19,23 @@ chosen at creation time:
   :meth:`ChangefeedConsumer.next_event` blocks (with optional timeout),
   :meth:`ChangefeedConsumer.events` drains without blocking, and
   iterating the consumer yields events until :meth:`close`.  Pull mode
-  decouples the consumer's pace from the writer entirely: the writer
-  only pays one lock-protected append per event.  Queues are bounded at
-  twice the hub's retention window — a consumer that has fallen further
-  behind than replay could cover is detached (overflow sets
-  :attr:`ChangefeedConsumer.error`; the queued backlog stays drainable)
-  rather than growing without bound.
+  decouples the consumer's pace from the writer: queues are bounded at
+  twice the hub's retention window, and what happens at the bound is
+  the consumer's **backpressure policy**:
+
+  - ``backpressure='block_writer'`` (the default) — delivery waits up
+    to ``block_timeout`` seconds for the consumer to drain a slot; a
+    consumer still full after that is detached (overflow sets
+    :attr:`ChangefeedConsumer.error`; the queued backlog stays
+    drainable) rather than wedging the publisher forever.  On the
+    staged commit pipeline, delivery runs *outside* the writer's
+    critical section, so a blocked delivery delays the publisher — not
+    readers, and not the next writer's mutation.
+  - ``backpressure='drop_oldest'`` — the oldest queued event is
+    discarded to make room (counted on :attr:`ChangefeedConsumer.drops`
+    and the hub's ``drops`` stat) and the consumer stays attached; the
+    consumer must treat a generation gap between consecutive events as
+    "resync via ``changefeed(since=...)``" if it needs every event.
 
 Either way the consumer tracks :attr:`ChangefeedConsumer.generation` —
 the generation of the last event it has *taken* — which is exactly the
@@ -39,6 +50,13 @@ from collections import deque
 from repro.errors import ChangefeedError
 from repro.subscribe.delta import ViewEvent
 
+#: How long a ``block_writer`` delivery waits for queue space before
+#: giving up and detaching the consumer (seconds).
+DEFAULT_BLOCK_TIMEOUT = 1.0
+
+#: The recognized full-queue policies.
+BACKPRESSURE_POLICIES = ("block_writer", "drop_oldest")
+
 
 class ChangefeedConsumer:
     """One attached consumer of a view's published event stream."""
@@ -46,7 +64,14 @@ class ChangefeedConsumer:
     def __init__(
         self, hub, on_event=None, generation: int = 0,
         max_pending: int = 0,
+        backpressure: str = "block_writer",
+        block_timeout: float | None = None,
     ):
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ChangefeedError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {backpressure!r}"
+            )
         self._hub = hub
         self._callback = on_event
         self._queue: deque[ViewEvent] = deque()
@@ -56,6 +81,13 @@ class ChangefeedConsumer:
         """Pull-queue bound (0 = unbounded); the hub passes its
         retention window — beyond it, replay could not cover the
         backlog either, so the consumer is detached on overflow."""
+        self.backpressure = backpressure
+        """Full-queue policy: ``'block_writer'`` or ``'drop_oldest'``."""
+        self._block_timeout = (
+            DEFAULT_BLOCK_TIMEOUT if block_timeout is None else block_timeout
+        )
+        self.drops = 0
+        """Events this consumer discarded under ``'drop_oldest'``."""
         self.generation = generation
         """Generation of the last event taken (callback mode: delivered);
         pass as ``since=`` to resume after a disconnect."""
@@ -79,20 +111,41 @@ class ChangefeedConsumer:
             self._callback(event)
             self.generation = event.generation
             return True
+        overflowed = False
         with self._cond:
             if self._closed:
                 return True
             if self._max_pending and len(self._queue) >= self._max_pending:
-                self.error = ChangefeedError(
-                    f"pull consumer fell behind: {len(self._queue)} "
-                    f"events pending reached the queue bound of "
-                    f"{self._max_pending} (2x the retention window); "
-                    f"drain the backlog, then reattach with "
-                    f"changefeed(since=<last generation>)"
-                )
-                self._closed = True
-                self._cond.notify_all()
-            else:
+                if self.backpressure == "drop_oldest":
+                    # Lossy consumer: sacrifice the oldest queued event
+                    # and stay attached.
+                    self._queue.popleft()
+                    self.drops += 1
+                    self._hub.drops += 1
+                else:
+                    # block_writer: give the consumer a chance to drain
+                    # a slot (next_event()/events() notify on take).
+                    self._cond.wait_for(
+                        lambda: self._closed
+                        or len(self._queue) < self._max_pending,
+                        timeout=self._block_timeout,
+                    )
+                    if self._closed:
+                        return True
+                    if len(self._queue) >= self._max_pending:
+                        self.error = ChangefeedError(
+                            f"pull consumer fell behind: {len(self._queue)} "
+                            f"events pending reached the queue bound of "
+                            f"{self._max_pending} (2x the retention window) "
+                            f"and no slot freed within "
+                            f"{self._block_timeout}s; drain the backlog, "
+                            f"then reattach with "
+                            f"changefeed(since=<last generation>)"
+                        )
+                        self._closed = True
+                        self._cond.notify_all()
+                        overflowed = True
+            if not overflowed:
                 self.delivered += 1
                 self._queue.append(event)
                 self._cond.notify_all()
@@ -125,7 +178,12 @@ class ChangefeedConsumer:
         """Take the next event, blocking until one arrives.
 
         Returns ``None`` when ``timeout`` (seconds) elapses with no
-        event, or when the consumer is closed and its queue is drained.
+        event, or — without blocking — when the consumer is already
+        closed and its queue is drained.  A :meth:`close` that lands
+        *while this call is blocked* raises
+        :class:`~repro.errors.ChangefeedError` instead, so a puller
+        parked on a long timeout learns about the close immediately
+        rather than timing out into an indistinguishable ``None``.
         """
         self._require_pull("next_event()")
         with self._cond:
@@ -133,10 +191,16 @@ class ChangefeedConsumer:
                 self._cond.wait_for(
                     lambda: self._queue or self._closed, timeout=timeout
                 )
+                if not self._queue and self._closed:
+                    raise ChangefeedError(
+                        "consumer closed while blocked in next_event()"
+                    )
             if not self._queue:
                 return None
             event = self._queue.popleft()
             self.generation = event.generation
+            # A block_writer delivery may be parked on a full queue.
+            self._cond.notify_all()
             return event
 
     def events(self) -> list[ViewEvent]:
@@ -147,13 +211,19 @@ class ChangefeedConsumer:
             self._queue.clear()
             if drained:
                 self.generation = drained[-1].generation
+                # A block_writer delivery may be parked on a full queue.
+                self._cond.notify_all()
             return drained
 
     def __iter__(self):
         """Yield events as they arrive until the consumer is closed."""
         self._require_pull("iteration")
         while True:
-            event = self.next_event()
+            try:
+                event = self.next_event()
+            except ChangefeedError:
+                # Closed while blocked: iteration ends normally.
+                return
             if event is None:
                 return
             yield event
@@ -164,8 +234,9 @@ class ChangefeedConsumer:
         """Detach from the feed (idempotent); wakes blocked pullers.
 
         Queued events already delivered remain drainable via
-        :meth:`events`; :meth:`next_event` returns ``None`` once the
-        queue is empty.
+        :meth:`events`; a *subsequent* :meth:`next_event` returns
+        ``None`` once the queue is empty, while a call blocked *right
+        now* is woken with :class:`~repro.errors.ChangefeedError`.
         """
         if self._closed:
             return

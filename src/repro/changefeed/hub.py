@@ -38,6 +38,16 @@ from repro.subscribe.delta import ViewEvent, coalesce
 DEFAULT_RETENTION = 256
 
 
+class _Staged:
+    """A staged publication: the sealed event + its fan-out snapshot."""
+
+    __slots__ = ("event", "consumers")
+
+    def __init__(self, event: ViewEvent, consumers: list):
+        self.event = event
+        self.consumers = consumers
+
+
 class ChangefeedHub:
     """Publishes one view's ΔV event stream to attached consumers."""
 
@@ -59,6 +69,9 @@ class ChangefeedHub:
         self.overflows = 0
         """Pull consumers detached for falling further behind than the
         queue bound (twice the retention window)."""
+        self.drops = 0
+        """Events discarded by ``backpressure='drop_oldest'`` consumers
+        (summed across all of them, detached ones included)."""
 
     # -- attachment -----------------------------------------------------------------
 
@@ -107,7 +120,11 @@ class ChangefeedHub:
             raise ReplayGapError(since=since, floor=self.floor)
 
     def open(
-        self, since: int | None = None, on_event=None
+        self,
+        since: int | None = None,
+        on_event=None,
+        backpressure: str = "block_writer",
+        block_timeout: float | None = None,
     ) -> ChangefeedConsumer:
         """Attach a consumer, optionally replaying from ``since``.
 
@@ -115,6 +132,9 @@ class ChangefeedHub:
         :class:`~repro.service.facade.ViewService` façade does), which
         makes replay-then-live gapless: no commit can interleave between
         the replayed batch and the consumer joining the fan-out list.
+
+        ``backpressure``/``block_timeout`` set the pull consumer's
+        full-queue policy (see :class:`ChangefeedConsumer`).
         """
         self.validate_since(since)  # before the attach side effect
         self._ensure_attached()
@@ -132,6 +152,8 @@ class ChangefeedHub:
             # attach, and a consumer lagging beyond another window on
             # top of that could no longer resume via replay anyway.
             max_pending=2 * self.retention,
+            backpressure=backpressure,
+            block_timeout=block_timeout,
         )
         for event in replayed:
             consumer._deliver(event)
@@ -150,18 +172,52 @@ class ChangefeedHub:
     # -- the publish path (writer's critical section) ---------------------------------
 
     def handle(self, event: ViewEvent) -> None:
-        """Commit observer: coalesce batches, retain, fan out."""
+        """Commit observer: coalesce batches, retain, fan out inline.
+
+        The legacy single-phase path (no staged pipeline, or direct
+        updater use): staging and delivery both run inside the writer's
+        critical section.
+        """
         if event.deferred:
             self._pending.append(event)
             return
+        self.deliver(self.stage(event))
+
+    def stage(self, event: ViewEvent):
+        """Retain ``event`` and snapshot its fan-out list (under the lock).
+
+        The staged pipeline's half of publication that *must* stay in
+        the writer's critical section: coalescing with any buffered
+        mid-batch events, the replay-buffer append (so a consumer
+        attaching right after the lock is released replays this event
+        instead of missing it) and the consumer-list snapshot (so that
+        same late consumer is not *also* delivered to live — no gaps, no
+        duplicates).  Returns an opaque staging token for
+        :meth:`deliver`, or ``None`` when the hub never attached.
+        """
+        if self._buffer is None:
+            return None
         if self._pending:
             self._pending.append(event)
             event = coalesce(self._pending)
             self._pending.clear()
-        assert self._buffer is not None
         self._buffer.append(event)
         self.events_published += 1
-        for consumer in list(self._consumers):
+        with self._members:
+            consumers = list(self._consumers)
+        return _Staged(event, consumers)
+
+    def deliver(self, staged) -> None:
+        """Fan a staged event out to its snapshot of consumers.
+
+        Runs *outside* the write lock on the staged pipeline (in commit
+        order — the pipeline's ticket fence serializes concurrent
+        publishers), inline under the lock on the legacy path.
+        """
+        if staged is None:
+            return
+        event = staged.event
+        for consumer in staged.consumers:
             try:
                 if not consumer._deliver(event):
                     self.overflows += 1
@@ -183,6 +239,7 @@ class ChangefeedHub:
             "events_published": self.events_published,
             "callback_errors": self.callback_errors,
             "overflows": self.overflows,
+            "drops": self.drops,
             "retention": self.retention,
             "retained": len(self._buffer) if self._buffer else 0,
             "floor": self.floor,

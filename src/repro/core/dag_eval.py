@@ -147,12 +147,15 @@ class DagXPathEvaluator:
         else:
             sweep: list[int] | None = None
             if start is not None:
-                cone = set(start)
-                cone |= (
-                    self.reach.desc_of_set(start)
-                    if self.reach is not None
-                    else self.store.descendants_of(start)
-                )
+                reach = self.reach
+                if reach is not None and reach.native_masks:
+                    # The cone stays in mask space: one big-int OR of
+                    # descendant rows, no per-node set materialization.
+                    cone = reach.desc_mask_of_set(start).with_nodes(start)
+                elif reach is not None:
+                    cone = set(start) | reach.desc_of_set(start)
+                else:
+                    cone = set(start) | self.store.descendants_of(start)
                 sweep = self.topo.sort_nodes(cone)  # children first
             filter_values = self._bottom_up(path, sweep, program)
         return self._top_down(
@@ -268,7 +271,9 @@ class DagXPathEvaluator:
         self._arrivals: list[dict[int, set[int]]] = [
             {node: set() for node in current}
         ]
-        self._regions: dict[int, set[int]] = {}
+        # Region per // step: a plain set, or a MaskView on mask-native
+        # backends — consumers only need membership and iteration.
+        self._regions: dict[int, object] = {}
 
         for index, step in enumerate(path.steps, start=1):
             previous = current
@@ -297,8 +302,15 @@ class DagXPathEvaluator:
                 # Mark pass-through so side-effect walk can skip the level.
                 self._regions.pop(index, None)
             elif isinstance(step, DescendantStep):
-                if self.reach is not None:
-                    region = prev_set | self.reach.desc_of_set(previous)
+                reach = self.reach
+                if reach is not None and reach.native_masks:
+                    # One big-int OR over descendant rows; the region
+                    # never becomes a Python set on the fast backends.
+                    region = reach.desc_mask_of_set(previous).with_nodes(
+                        previous
+                    )
+                elif reach is not None:
+                    region = prev_set | reach.desc_of_set(previous)
                 else:
                     region = prev_set | self.store.descendants_of(previous)
                 self._regions[index] = region

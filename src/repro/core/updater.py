@@ -35,8 +35,10 @@ from __future__ import annotations
 
 import enum
 import random
+import threading
 import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.atg.model import ATG
@@ -472,11 +474,21 @@ class XMLViewUpdater:
         self._in_plan_commit = False
         """True while a plan commit drives ``apply_base_update`` (the
         commit emits the final event itself)."""
-        self._emitting = False
-        """True while commit observers run.  The service write lock is
-        reentrant for its owner, so without this guard an observer
-        (subscription maintenance, a changefeed callback) could start a
-        *nested* commit and publish events out of order mid-fan-out."""
+        self._emitting_depth: dict[int, int] = {}
+        """Per-thread nesting depth of observer/consumer delivery.  The
+        service write lock is reentrant for its owner, so without this
+        guard an observer (subscription maintenance, a changefeed
+        callback) could start a *nested* commit and publish events out
+        of order mid-fan-out.  Per *thread* because the staged commit
+        pipeline delivers after the lock is released — a callback
+        writing back would otherwise simply acquire the free lock."""
+        self._sink = None
+        """The installed :class:`~repro.service.pipeline.CommitPipeline`
+        (or None).  While a pipeline scope is open on the emitting
+        thread, events are collected into its ``CommitRecord`` and the
+        registry/hub observers are skipped (maintenance and fan-out run
+        as explicit pipeline phases instead); raw observers always run
+        inline."""
 
     # -- public API -----------------------------------------------------------
 
@@ -516,16 +528,40 @@ class XMLViewUpdater:
         """Unregister a previously added observer (ValueError if absent)."""
         self._observers.remove(observer)
 
-    def _emit(self, event: ViewEvent) -> None:
-        self._emitting = True
+    @contextmanager
+    def _observer_section(self):
+        """Mark the calling thread as delivering commit events.
+
+        Raised around inline observer dispatch *and* around the staged
+        pipeline's off-lock publish phase, so
+        :meth:`_check_not_emitting` rejects write-backs from either.
+        """
+        ident = threading.get_ident()
+        depth = self._emitting_depth
+        depth[ident] = depth.get(ident, 0) + 1
         try:
-            for observer in list(self._observers):
-                observer(event)
+            yield
         finally:
-            self._emitting = False
+            remaining = depth.get(ident, 1) - 1
+            if remaining <= 0:
+                depth.pop(ident, None)
+            else:
+                depth[ident] = remaining
+
+    def _emit(self, event: ViewEvent) -> None:
+        sink = self._sink
+        collected = sink is not None and sink.collect(event)
+        with self._observer_section():
+            for observer in list(self._observers):
+                if collected and sink.owns(observer):
+                    # A pipeline scope buffered the event; registry
+                    # maintenance and hub fan-out run as the maintain /
+                    # publish phases on the sealed record instead.
+                    continue
+                observer(event)
 
     def _check_not_emitting(self) -> None:
-        if self._emitting:
+        if threading.get_ident() in self._emitting_depth:
             raise PlanError(
                 "cannot mutate the view from inside a commit observer "
                 "(a subscription or changefeed callback): the write "

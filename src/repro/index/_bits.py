@@ -49,3 +49,11 @@ class MaskView:
 
     def __len__(self) -> int:
         return self._mask.bit_count()
+
+    def with_nodes(self, nodes: Iterable[int]) -> "MaskView":
+        """A new view that also contains every node in ``nodes``.
+
+        The evaluator's region = ``start ∪ desc(start)`` union in one
+        big-int OR, without touching the (immutable) receiver.
+        """
+        return MaskView(self._mask | mask_of(nodes))

@@ -43,6 +43,12 @@ class ReachabilityIndex(ABC):
     #: Registry name of the concrete backend ("sets", "bitset", ...).
     backend: str = "abstract"
 
+    #: Whether :meth:`desc_mask_of_set` is backed by a physical bit
+    #: representation (no Python-set materialization).  Consumers like
+    #: the DAG evaluator branch on this to keep region unions in mask
+    #: space on the fast backends while staying set-based on ``sets``.
+    native_masks: bool = False
+
     # -- queries ------------------------------------------------------------------
 
     @abstractmethod
@@ -86,6 +92,21 @@ class ReachabilityIndex(ABC):
         must not hold it across index mutations.
         """
         return self.desc(node)
+
+    def desc_mask_of_set(self, nodes: Iterable[int]):
+        """Union of proper descendants over ``nodes`` as a
+        :class:`~repro.index._bits.MaskView`.
+
+        The mask-returning sibling of :meth:`desc_of_set` for consumers
+        that only need membership/iteration (the evaluator's region
+        unions).  Backends with :attr:`native_masks` build the mask by
+        OR-ing rows directly; this default round-trips through the set
+        form, so it is only a compatibility shim for the ``sets``
+        backend.  Same detachment contract as :meth:`desc_of_set`.
+        """
+        from repro.index._bits import MaskView, mask_of
+
+        return MaskView(mask_of(self.desc_of_set(nodes)))
 
     # -- point mutation -----------------------------------------------------------
 

@@ -42,6 +42,7 @@ class BitsetReachabilityIndex(ReachabilityIndex):
     """Reachability matrix with one ``int`` bitmask per row."""
 
     backend = "bitset"
+    native_masks = True
 
     __slots__ = ("_anc", "_desc", "_pairs")
 
@@ -87,6 +88,13 @@ class BitsetReachabilityIndex(ReachabilityIndex):
         for node in nodes:
             mask |= rows.get(node, 0)
         return set(_iter_bits(mask))
+
+    def desc_mask_of_set(self, nodes: Iterable[int]) -> _MaskView:
+        rows = self._desc
+        mask = 0
+        for node in nodes:
+            mask |= rows.get(node, 0)
+        return _MaskView(mask)
 
     # -- point mutation -----------------------------------------------------------
 

@@ -222,6 +222,7 @@ class MatrixReachabilityIndex(ReachabilityIndex):
     """Reachability matrix as a dense NumPy ``uint64`` bit matrix."""
 
     backend = "matrix"
+    native_masks = True
 
     __slots__ = ("_anc", "_desc", "_pairs")
 
@@ -296,6 +297,14 @@ class MatrixReachabilityIndex(ReachabilityIndex):
 
     def desc_of_set(self, nodes: Iterable[int]) -> set[int]:
         return self._rows_union(self._desc, nodes)
+
+    def desc_mask_of_set(self, nodes: Iterable[int]) -> MaskView:
+        rows = self._desc
+        cap = rows.shape[0]
+        idx = np.fromiter((n for n in nodes if n < cap), dtype=np.int64)
+        if idx.size == 0:
+            return MaskView(0)
+        return MaskView(_row_to_int(np.bitwise_or.reduce(rows[idx], axis=0)))
 
     # -- point mutation -----------------------------------------------------------
 

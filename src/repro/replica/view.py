@@ -33,6 +33,7 @@ from repro.atg.model import ATG
 from repro.core.dag_eval import DagXPathEvaluator, EvalResult
 from repro.core.topo import TopoOrder
 from repro.errors import (
+    ChangefeedError,
     ReplayGapError,
     ReplicaDivergedError,
     ReplicaError,
@@ -270,6 +271,11 @@ class ReplicaView:
                 return
             try:
                 event = feed.next_event(timeout=0.25)
+            except ChangefeedError:
+                # The feed was closed under us mid-pull (replica close,
+                # or a re-bootstrap swapping feeds); loop — the stop
+                # flag / fresh feed decide what happens next.
+                continue
             except Exception as exc:  # noqa: BLE001 - recorded, not hidden
                 self.error = exc
                 return

@@ -64,6 +64,16 @@ class ViewConfig:
         patches — see ``docs/index-backends.md``).  ``'auto'``
         (default) captures only while such a subscription is live;
         ``True``/``False`` force it on or off.
+    commit_pipeline:
+        Whether writes run through the staged commit pipeline
+        (:class:`~repro.service.pipeline.CommitPipeline`: plan → mutate
+        → maintain → publish, with changefeed delivery outside the
+        write lock and batched subscription decisions).  ``False``
+        restores the legacy single-phase critical section — kept as the
+        measured pre-refactor baseline of the ``pipeline`` benchmark
+        experiment.  Event contents, subscription results and replica
+        convergence are identical either way; see the concurrency-model
+        section of ``docs/architecture.md``.
     """
 
     index_backend: str = "auto"
@@ -75,6 +85,7 @@ class ViewConfig:
     changefeed_retention: int = DEFAULT_RETENTION
     coarse_event_threshold: int | None = None
     capture_closure_deltas: bool | str = "auto"
+    commit_pipeline: bool = True
 
     def __post_init__(self):
         resolve_backend(self.index_backend)  # raises on unknown names
@@ -105,6 +116,11 @@ class ViewConfig:
             raise ReproError(
                 f"capture_closure_deltas must be True, False or 'auto', "
                 f"got {self.capture_closure_deltas!r}"
+            )
+        if not isinstance(self.commit_pipeline, bool):
+            raise ReproError(
+                f"commit_pipeline must be a bool, "
+                f"got {self.commit_pipeline!r}"
             )
 
     @property

@@ -29,6 +29,7 @@ from repro.changefeed.consumer import ChangefeedConsumer
 from repro.changefeed.hub import ChangefeedHub
 from repro.core.dag_eval import EvalResult
 from repro.core.updater import (
+    PlanState,
     UpdateOutcome,
     UpdatePlan,
     XMLViewUpdater,
@@ -37,6 +38,7 @@ from repro.errors import PlanError, ReproError
 from repro.ops import BaseUpdateOp, UpdateOperation, op_from_dict
 from repro.relational.database import Database
 from repro.service.config import ViewConfig
+from repro.service.pipeline import CommitPipeline
 from repro.service.rwlock import RWLock
 from repro.subscribe.engine import Subscription, SubscriptionRegistry
 from repro.xmltree.tree import XMLNode
@@ -88,6 +90,34 @@ class ViewService:
             self.updater,
             retention=self.config.changefeed_retention,
         )
+        # The staged commit pipeline (plan → mutate → maintain →
+        # publish): writes open a pipeline scope instead of a bare write
+        # lock, registry maintenance runs as one batched pass, and
+        # changefeed delivery happens after the lock is released (see
+        # docs/architecture.md).  ``commit_pipeline=False`` keeps the
+        # legacy single-phase critical section.
+        self.pipeline: CommitPipeline | None = None
+        if self.config.commit_pipeline:
+            self.pipeline = CommitPipeline(
+                self._lock, self.updater, self.subscriptions,
+                self.changefeeds,
+            )
+            self.updater._sink = self.pipeline
+
+    @contextmanager
+    def _write_scope(self):
+        """One write section: a pipeline scope, or the bare write lock.
+
+        Yields the open :class:`~repro.service.pipeline.CommitRecord`
+        (or ``None`` on the legacy path) so callers can mark the
+        ``plan`` phase for timing.
+        """
+        if self.pipeline is None:
+            with self._lock.write():
+                yield None
+        else:
+            with self.pipeline.scope() as record:
+                yield record
 
     # -- write path ---------------------------------------------------------------
 
@@ -111,8 +141,16 @@ class ViewService:
         """
         if isinstance(op, (UpdateOperation, dict)):
             decoded = self._decode(op)
-            with self._lock.write():
-                return self.updater.apply_op(decoded)
+            with self._write_scope() as record:
+                if record is None:
+                    return self.updater.apply_op(decoded)
+                # The same dispatch as updater.apply_op, with the two
+                # foreground phases marked on the commit record.
+                with record.phase("plan"):
+                    plan = self.updater.plan(decoded)
+                if plan.state is PlanState.REJECTED:
+                    return plan.outcome  # strict mode raised inside plan()
+                return plan.commit()
         ops = [self._decode(item) for item in op]
         base = [o for o in ops if isinstance(o, BaseUpdateOp)]
         if base:
@@ -122,7 +160,7 @@ class ViewService:
                 "apply them individually"
             )
         outcomes: list[UpdateOutcome] = []
-        with self._lock.write():
+        with self._write_scope():
             try:
                 with self.updater.batch():
                     for decoded in ops:
@@ -138,24 +176,30 @@ class ViewService:
     def plan(self, op: UpdateOperation | dict) -> UpdatePlan:
         """Run the foreground phases; commit/abort later.
 
-        The returned plan's ``commit()``/``abort()`` take the service's
-        write lock, so a held plan can be completed from any thread.
+        The returned plan's ``commit()``/``abort()`` open a full write
+        section (a pipeline scope when the staged pipeline is on), so a
+        held plan can be completed from any thread and its commit
+        publishes through the same maintain/publish phases as
+        :meth:`apply`.
         """
         decoded = self._decode(op)
         with self._lock.write():
             plan = self.updater.plan(decoded)
-        plan._write_lock = self._lock.write
+        plan._write_lock = (
+            self.pipeline.scope if self.pipeline is not None
+            else self._lock.write
+        )
         return plan
 
     def undo(self, outcome: UpdateOutcome):
         """Invert an accepted update's ΔR and re-synchronize the view."""
-        with self._lock.write():
+        with self._write_scope():
             return self.updater.undo(outcome)
 
     @contextmanager
     def batch(self):
         """Exclusive batched session: N applies, one Δ(M,L) repair."""
-        with self._lock.write():
+        with self._write_scope():
             with self.updater.batch() as session:
                 yield _BatchHandle(self.updater, session)
 
@@ -178,7 +222,11 @@ class ViewService:
     # -- changefeed ----------------------------------------------------------------
 
     def changefeed(
-        self, since: int | None = None, on_event=None
+        self,
+        since: int | None = None,
+        on_event=None,
+        backpressure: str = "block_writer",
+        block_timeout: float | None = None,
     ) -> ChangefeedConsumer:
         """Attach a consumer to this view's published event stream.
 
@@ -197,18 +245,27 @@ class ViewService:
         early (e.g. right after :func:`open_view`) if you need replay
         from generation 0.
 
-        ``on_event=fn`` selects callback mode: ``fn(event)`` runs inside
-        the writer's critical section, after subscription maintenance
-        (so ``sub.result()``/``sub.delta()`` read consistently with the
-        event).  Writing back into the service from the callback raises
-        :class:`~repro.errors.PlanError`; a callback that raises is
-        detached (``consumer.error``) rather than failing the commit.
+        ``on_event=fn`` selects callback mode: ``fn(event)`` runs
+        synchronously on the committing thread during the pipeline's
+        *publish* phase — after subscription maintenance for the event's
+        generation completed, and (with the staged pipeline) after the
+        write lock was released, so the callback never extends the
+        critical section (so ``sub.result()``/``sub.delta()`` read
+        consistently with the event).  Writing back into the service
+        from the callback raises :class:`~repro.errors.PlanError`; a
+        callback that raises is detached (``consumer.error``) rather
+        than failing the commit.
         Without ``on_event`` the returned consumer is a pull handle:
         iterate it, or call ``next_event(timeout=...)`` / ``events()``;
         ``close()`` detaches.  Pull queues are bounded at twice the
-        retention window — a consumer that falls further behind than
-        replay could cover is detached with the backlog kept drainable
-        (``consumer.error`` explains how to reattach).
+        retention window; what happens at the bound is the consumer's
+        ``backpressure`` policy: ``'block_writer'`` (default) makes
+        delivery wait up to ``block_timeout`` seconds for the consumer
+        to drain a slot and detaches it only if none frees up (the
+        backlog stays drainable; ``consumer.error`` explains how to
+        reattach), ``'drop_oldest'`` discards the oldest queued event
+        and keeps the consumer attached (lossy; counted in the hub's
+        ``drops`` stat).
         """
         with self._lock.write():
             # Reject a bad resume point before any side effect sticks,
@@ -217,7 +274,10 @@ class ViewService:
             # subscription state.
             self.changefeeds.validate_since(since)
             self.subscriptions.ensure_registered(pin=True)
-            return self.changefeeds.open(since=since, on_event=on_event)
+            return self.changefeeds.open(
+                since=since, on_event=on_event,
+                backpressure=backpressure, block_timeout=block_timeout,
+            )
 
     # -- read path ----------------------------------------------------------------
 
@@ -275,6 +335,11 @@ class ViewService:
                 "index_backend": self.updater.index_backend,
                 "subscriptions": self.subscriptions.stats(),
                 "changefeed": self.changefeeds.stats(),
+                "pipeline": (
+                    self.pipeline.stats()
+                    if self.pipeline is not None
+                    else None
+                ),
                 "config": self.config.to_dict(),
             }
 

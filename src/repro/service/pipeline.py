@@ -1,0 +1,303 @@
+"""The staged commit pipeline: plan → mutate → maintain → publish.
+
+Historically every commit ran mutation, subscription maintenance and
+changefeed fan-out serially inside the writer's critical section.  The
+:class:`CommitPipeline` splits that monolith into four explicit phases
+with per-phase wall-clock accounting:
+
+- **plan** — the foreground phases (validate → ΔR), still under the
+  write lock so the plan cannot go stale before its commit;
+- **mutate** — ΔR/ΔV application plus the Δ(M,L) repair; the emitted
+  :class:`~repro.subscribe.delta.ViewEvent` stream is *collected* into a
+  :class:`CommitRecord` instead of dispatched to the registry/hub inline
+  (raw ``updater.add_observer`` observers still run inline — they are an
+  engine-internal hook with mid-batch ``deferred`` semantics);
+- **maintain** — the record is sealed (one coalesced, generation-stamped
+  event per at-rest generation) and the subscription registry runs its
+  *batched* decision pass (:meth:`SubscriptionRegistry.apply_batched`)
+  — still under the lock, so readers can never observe generation ``g``
+  with stale subscriptions;
+- **publish** — changefeed fan-out and consumer delivery run *after the
+  write lock is released*, fenced by a ticket so concurrent writers
+  publish in commit order.  Consumers therefore only ever see generation
+  ``g`` after maintenance for ``g`` completed, and a slow consumer
+  (``backpressure='block_writer'``) delays the *publisher*, not the
+  whole critical section.
+
+The pipeline is installed by the service façade when
+``ViewConfig(commit_pipeline=True)`` (the default); ``False`` restores
+the legacy single-phase critical section (the pre-refactor baseline the
+``pipeline`` benchmark experiment measures against).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.subscribe.delta import ViewEvent, coalesce
+
+#: The four pipeline phases, in commit order.
+PHASES = ("plan", "mutate", "maintain", "publish")
+
+
+class CommitRecord:
+    """One commit's sealed output: events, records and phase timings.
+
+    While a pipeline scope is open on the writer thread, every event the
+    updater emits is collected here.  :meth:`seal` folds them into a
+    single generation-stamped event (mid-batch ``deferred`` events
+    coalesce with their session's flush event, exactly as the registry
+    and hub used to do internally), after which the record is immutable
+    in spirit: ``event`` is what maintenance consumed and fan-out
+    delivered.
+    """
+
+    __slots__ = ("generation", "events", "event", "timings", "_sealed")
+
+    def __init__(self) -> None:
+        self.generation = -1
+        """Generation of the sealed event (-1 until sealed non-empty)."""
+        self.events: list[ViewEvent] = []
+        """Raw events collected while the scope was open (in emit order,
+        ``deferred`` mid-batch events included)."""
+        self.event: ViewEvent | None = None
+        """The sealed, coalesced event (``None`` = nothing published)."""
+        self.timings: dict[str, float] = {}
+        """Per-phase wall-clock seconds (plus ``lock_wait`` and
+        ``lock_hold``)."""
+        self._sealed = False
+
+    @property
+    def sealed(self) -> bool:
+        """Whether :meth:`seal` has run."""
+        return self._sealed
+
+    @property
+    def nodes(self):
+        """Node-interning records of the sealed event (wire side channel)."""
+        return self.event.nodes if self.event is not None else ()
+
+    @property
+    def closure(self):
+        """Closure pair-delta of the sealed event (``None`` = not captured)."""
+        return self.event.closure if self.event is not None else None
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a code block into ``timings[name]`` (accumulating)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[name] = (
+                self.timings.get(name, 0.0) + time.perf_counter() - start
+            )
+
+    def seal(self) -> ViewEvent | None:
+        """Fold the collected events into one at-rest event.
+
+        A single non-deferred event passes through untouched (byte
+        identical to the legacy inline dispatch); a batch's deferred
+        events coalesce with the flush event.  Returns the sealed event,
+        or ``None`` when the scope emitted nothing (aborted plans,
+        observer-less services).
+        """
+        if self._sealed:
+            return self.event
+        self._sealed = True
+        if not self.events:
+            return None
+        if len(self.events) == 1 and not self.events[0].deferred:
+            self.event = self.events[0]
+        else:
+            self.event = coalesce(self.events)
+        self.generation = self.event.generation
+        return self.event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "sealed" if self.event is not None else "open"
+        return (
+            f"CommitRecord({state} gen={self.generation} "
+            f"events={len(self.events)})"
+        )
+
+
+class CommitPipeline:
+    """Owns phase ordering, generation fencing and per-phase timings.
+
+    One instance per :class:`~repro.service.facade.ViewService`.  The
+    façade routes every write through :meth:`scope`; the updater routes
+    emitted events into the open scope's :class:`CommitRecord` via the
+    sink protocol (:meth:`collect`/:meth:`owns`) instead of dispatching
+    to the registry/hub observers inline.
+    """
+
+    def __init__(self, lock, updater, registry, hub):
+        self._lock = lock
+        self.updater = updater
+        self.registry = registry
+        self.hub = hub
+        self._local = threading.local()
+        self._turn_cond = threading.Condition()
+        self._next_ticket = 0
+        self._turn = 0
+        self._stats_mutex = threading.Lock()
+        self.commits = 0
+        """Completed top-level scopes (aborted plans included)."""
+        self.records_sealed = 0
+        """Scopes that sealed a non-empty event (i.e. published)."""
+        self.lock_wait_seconds = 0.0
+        """Cumulative time writers waited to acquire the write lock."""
+        self.lock_hold_seconds = 0.0
+        """Cumulative time the write lock was held (plan + mutate +
+        maintain; publish runs off the lock)."""
+        self.phase_seconds: dict[str, float] = dict.fromkeys(PHASES, 0.0)
+        """Cumulative per-phase wall-clock seconds."""
+        self.last: dict = {}
+        """The most recent scope's timings (debug/benchmark aid)."""
+
+    # -- the sink protocol (called by the updater) ---------------------------------
+
+    def collect(self, event: ViewEvent) -> bool:
+        """Buffer ``event`` into the open scope's record, if any.
+
+        Returns True when a scope is active on the calling thread (the
+        updater then skips the registry/hub observers — maintenance and
+        fan-out run from the sealed record instead); False routes the
+        event through the legacy inline dispatch (direct updater use:
+        ``rebuild()``, bare ``apply_base_update``, engine tests).
+        """
+        record = getattr(self._local, "record", None)
+        if record is None:
+            return False
+        record.events.append(event)
+        return True
+
+    def owns(self, observer) -> bool:
+        """Whether ``observer`` is the registry's or hub's commit hook
+        (those are replaced by the maintain/publish phases in scope)."""
+        return observer == self.registry.handle or observer == self.hub.handle
+
+    @property
+    def active(self) -> bool:
+        """Whether a pipeline scope is open on the calling thread."""
+        return getattr(self._local, "record", None) is not None
+
+    # -- the write scope -----------------------------------------------------------
+
+    @contextmanager
+    def scope(self):
+        """Open a staged write section; yields the :class:`CommitRecord`.
+
+        Acquire the write lock, run the body (plan + mutate), then —
+        still under the lock — seal the record, run the registry's
+        batched maintenance and stage changefeed fan-out; release the
+        lock and deliver to consumers in ticket (= commit) order.  The
+        seal/maintain/publish tail runs even when the body raises
+        (a strict-mode batch failure has already flushed its session and
+        emitted the flush event before the exception propagates).
+
+        Reentrant per thread: a nested scope (``service.apply`` inside
+        ``service.batch()``) joins the outer record.
+        """
+        local = self._local
+        if getattr(local, "depth", 0):
+            local.depth += 1
+            try:
+                yield local.record
+            finally:
+                local.depth -= 1
+            return
+        record = CommitRecord()
+        staged = None
+        ticket: int | None = None
+        wait_start = time.perf_counter()
+        try:
+            with self._lock.write():
+                acquired = time.perf_counter()
+                record.timings["lock_wait"] = acquired - wait_start
+                local.depth, local.record = 1, record
+                try:
+                    yield record
+                finally:
+                    local.depth, local.record = 0, None
+                    event = record.seal()
+                    if event is not None:
+                        with record.phase("maintain"):
+                            self.registry.apply_batched(event)
+                        staged = self.hub.stage(event)
+                        if staged is not None and staged.consumers:
+                            ticket = self._take_ticket()
+                    record.timings["lock_hold"] = (
+                        time.perf_counter() - acquired
+                    )
+        finally:
+            if ticket is not None:
+                with record.phase("publish"):
+                    self._publish(ticket, staged)
+            self._account(record)
+
+    # -- the publish phase (off the lock) --------------------------------------------
+
+    def _take_ticket(self) -> int:
+        with self._turn_cond:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            return ticket
+
+    def _publish(self, ticket: int, staged) -> None:
+        """Deliver in commit order, outside the writer's critical section.
+
+        The ticket fence keeps concurrent writers' deliveries ordered;
+        the updater's observer guard stays raised on this thread so a
+        consumer callback writing back into the service still raises
+        :class:`~repro.errors.PlanError` (the lock is free by now — the
+        guard, not the lock, enforces the no-reentrancy contract).
+        """
+        with self._turn_cond:
+            self._turn_cond.wait_for(lambda: self._turn == ticket)
+        try:
+            with self.updater._observer_section():
+                self.hub.deliver(staged)
+        finally:
+            with self._turn_cond:
+                self._turn += 1
+                self._turn_cond.notify_all()
+
+    # -- accounting -------------------------------------------------------------------
+
+    def _account(self, record: CommitRecord) -> None:
+        timings = record.timings
+        hold = timings.get("lock_hold", 0.0)
+        timings.setdefault(
+            "mutate",
+            max(
+                0.0,
+                hold
+                - timings.get("plan", 0.0)
+                - timings.get("maintain", 0.0),
+            ),
+        )
+        with self._stats_mutex:
+            self.commits += 1
+            if record.event is not None:
+                self.records_sealed += 1
+            self.lock_wait_seconds += timings.get("lock_wait", 0.0)
+            self.lock_hold_seconds += hold
+            for name in PHASES:
+                self.phase_seconds[name] += timings.get(name, 0.0)
+            self.last = {"generation": record.generation, **timings}
+
+    def stats(self) -> dict:
+        """JSON-safe pipeline counters (for ``service.stats()``)."""
+        with self._stats_mutex:
+            return {
+                "commits": self.commits,
+                "records_sealed": self.records_sealed,
+                "lock_wait_seconds": self.lock_wait_seconds,
+                "lock_hold_seconds": self.lock_hold_seconds,
+                "phase_seconds": dict(self.phase_seconds),
+                "last": dict(self.last),
+            }

@@ -85,10 +85,21 @@ class Subscription:
         self.query = path
         self.profile = profile
         self.active = True
-        self.stats: dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
+        self._stats: dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
         self._registry = registry
         self._mutex = threading.Lock()
         self._generation = -1
+        self._ledger_mark = 0
+        """Registry skip-ledger position this subscription has folded
+        in; events past the mark were lazy skips (see
+        :meth:`SubscriptionRegistry.apply_batched`)."""
+        self._watched: frozenset | None = None
+        """Nodes whose outgoing-edge changes could affect this
+        subscription (the union of the cached contexts its in-context
+        patterns are sharpened against), or ``None`` when membership
+        sharpening cannot cover every pattern (``//``/wildcard
+        dependencies, deep filter chains, no cached contexts) and the
+        type-level candidate pass must always consider it."""
         self._nodes: tuple[int, ...] = ()
         self._delta: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
         self._contexts: list[list[int]] | None = None
@@ -98,8 +109,20 @@ class Subscription:
         ``updater.closure_consumers``."""
 
     @property
+    def stats(self) -> dict[str, int]:
+        """Maintenance-action counters (one key per :data:`_STAT_KEYS`).
+
+        Reading folds in any skips the batched maintenance pass
+        accounted lazily, so the counters are always exact at the
+        caller's read.
+        """
+        self._registry.sync(self)
+        return self._stats
+
+    @property
     def generation(self) -> int:
         """The updater generation this subscription's cache reflects."""
+        self._registry.sync(self)
         return self._generation
 
     def result(self) -> tuple[int, ...]:
@@ -136,6 +159,108 @@ class Subscription:
         )
 
 
+class _PatternIndex:
+    """Inverted index over subscription edge patterns.
+
+    Maps a typed event edge to the subscriptions whose
+    :class:`~repro.subscribe.deps.QueryProfile` could possibly be
+    affected by it, so one event probes a handful of hash buckets
+    instead of scanning every pattern of every subscription
+    (:meth:`SubscriptionRegistry.apply_batched`).  The candidate set is
+    a strict superset of the subscriptions whose
+    :func:`~repro.subscribe.deps.first_affected_step` is non-``None``:
+    it reproduces the type/value tests of
+    :meth:`~repro.subscribe.deps.EdgePattern.matches` exactly and
+    ignores only the (purely narrowing) node-membership sharpening, so
+    skipping a non-candidate is always sound.
+
+    Buckets are keyed by ``(parent label, child label)`` with ``None``
+    components for wildcards; a subscription with a fully wildcard
+    pattern anywhere (``*``/``//`` steps, ``//`` inside a filter) is an
+    always-candidate.  Value-constrained patterns index per value; an
+    event edge with an *unknown* child value conservatively matches all
+    of them (same rule as ``EdgePattern.matches``).
+    """
+
+    def __init__(self):
+        self._always: set[Subscription] = set()
+        self._buckets: dict[tuple, dict] = {}
+        self._entries: dict[Subscription, list[tuple]] = {}
+
+    def add(self, sub: Subscription) -> None:
+        """Index every per-step pattern of ``sub``."""
+        entries: list[tuple] = []
+        always = False
+        for deps in sub.profile.per_step:
+            for pat in deps:
+                if pat.parent is None and pat.child is None:
+                    always = True
+                elif pat.values is None:
+                    entries.append(((pat.parent, pat.child), None))
+                else:
+                    entries.extend(
+                        ((pat.parent, pat.child), value)
+                        for value in pat.values
+                    )
+        if always:
+            # Any fine event can touch it; typed entries are redundant.
+            self._always.add(sub)
+            self._entries[sub] = []
+            return
+        self._entries[sub] = entries
+        for key, value in entries:
+            bucket = self._buckets.setdefault(
+                key, {"any": set(), "valued": set(), "by_value": {}}
+            )
+            if value is None:
+                bucket["any"].add(sub)
+            else:
+                bucket["valued"].add(sub)
+                bucket["by_value"].setdefault(value, set()).add(sub)
+
+    def discard(self, sub: Subscription) -> None:
+        """Remove ``sub``'s entries (idempotent)."""
+        entries = self._entries.pop(sub, None)
+        self._always.discard(sub)
+        if not entries:
+            return
+        for key, value in entries:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                continue
+            if value is None:
+                bucket["any"].discard(sub)
+            else:
+                bucket["valued"].discard(sub)
+                values = bucket["by_value"].get(value)
+                if values is not None:
+                    values.discard(sub)
+                    if not values:
+                        del bucket["by_value"][value]
+            if not (bucket["any"] or bucket["valued"]):
+                del self._buckets[key]
+
+    def candidates(self, event: ViewEvent) -> set[Subscription]:
+        """Subscriptions that may be affected by ``event``'s edges."""
+        found: set[Subscription] = set(self._always)
+        buckets = self._buckets
+        for rec in event.edges:
+            for key in (
+                (rec.parent_type, rec.child_type),
+                (rec.parent_type, None),
+                (None, rec.child_type),
+            ):
+                bucket = buckets.get(key)
+                if bucket is None:
+                    continue
+                found |= bucket["any"]
+                if rec.child_value is None:
+                    found |= bucket["valued"]
+                else:
+                    found |= bucket["by_value"].get(rec.child_value, set())
+        return found
+
+
 class SubscriptionRegistry:
     """All subscriptions of one view; consumes the commit event stream."""
 
@@ -143,6 +268,7 @@ class SubscriptionRegistry:
         self.updater = updater
         self._lock = lock
         self._subs: list[Subscription] = []
+        self._patterns = _PatternIndex()
         self._members = threading.Lock()
         self._buffer: list[ViewEvent] = []
         self._ids = itertools.count(1)
@@ -160,6 +286,21 @@ class SubscriptionRegistry:
         self.events_processed = 0
         self.events_buffered = 0
         self.publish_seconds = 0.0
+        self._ledger_events = 0
+        """Events accounted through :meth:`apply_batched`.  A
+        subscription whose ``_ledger_mark`` trails this count was a
+        non-candidate for every event in between — each one a *lazy
+        skip*, folded into its visible state on the next read (or the
+        next time it is a candidate)."""
+        self._ledger_gen = -1
+        """Generation of the last batched event (what a lazy skip
+        fast-forwards ``_generation`` to)."""
+        self._watchers: dict[int, set[Subscription]] = {}
+        """Node-level inverted watch index: node id → the
+        fully-sharpenable subscriptions with that node in a watched
+        context (see :attr:`Subscription._watched`).  Guarded by
+        ``self._members``; rebuilt per subscription whenever a
+        maintenance action refreshes its contexts."""
 
     # -- registration ------------------------------------------------------------
 
@@ -210,6 +351,9 @@ class SubscriptionRegistry:
         with sub._mutex:
             self._refresh_full(sub)
             sub._generation = self.updater._version
+            # Events before registration are not this sub's skips.
+            sub._ledger_mark = self._ledger_events
+            self._reindex_watch(sub)
         with self._members:
             # Lazy observer hookup: commits only pay the event
             # construction cost once someone actually subscribes (or a
@@ -218,21 +362,31 @@ class SubscriptionRegistry:
             # subscription cannot unhook between the two.
             self._ensure_registered_locked(pin=False)
             self._subs.append(sub)
+            self._patterns.add(sub)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
         """Drop ``sub`` from maintenance (idempotent; folds its stats)."""
+        # Fold pending lazy skips before touching membership state —
+        # and outside ``_members``, which is only ever taken *after* a
+        # subscription mutex, never around one.
+        with sub._mutex:
+            self._sync_locked(sub)
+            watched, sub._watched = sub._watched, None
         with self._members:
             sub.active = False
             if sub._closure_consumer:
                 sub._closure_consumer = False
                 self.updater.closure_consumers -= 1
+            self._patterns.discard(sub)
+            if watched:
+                self._drop_watchers(sub, watched)
             if sub in self._subs:
                 self._subs.remove(sub)
                 # Keep the registry-level counters monotonic: fold the
                 # closed subscription's tallies into the totals.
                 for key in _STAT_KEYS:
-                    self._closed_totals[key] += sub.stats[key]
+                    self._closed_totals[key] += sub._stats[key]
             if not self._subs and self._registered and not self._pinned:
                 # Last subscription gone: unhook so commits stop paying
                 # the event-construction cost.  (A registry pinned by a
@@ -278,34 +432,195 @@ class SubscriptionRegistry:
                 reason=f"cost_fallback({event.reason})",
             )
             for sub in list(self._subs):
-                sub.stats["coarse_fallbacks"] += 1
+                sub._stats["coarse_fallbacks"] += 1
         start = time.perf_counter()
         for sub in list(self._subs):
             with sub._mutex:
-                self._apply_event(sub, event)
+                self._sync_locked(sub)
+                if self._apply_event(sub, event):
+                    self._reindex_watch(sub)
         self.publish_seconds += time.perf_counter() - start
         self.events_processed += 1
 
-    def _apply_event(self, sub: Subscription, event: ViewEvent) -> None:
+    def apply_batched(self, event: ViewEvent) -> None:
+        """The staged pipeline's maintain phase: one batched decision pass.
+
+        Semantically identical to :meth:`handle` on an at-rest event —
+        every subscription ends at the same generation with the same
+        result, delta and stats — but the per-subscription decision is
+        batched: the :class:`_PatternIndex` maps the event's edges to
+        the candidate subscriptions in one probe per typed edge, and
+        the non-candidates — however many — are accounted with **one**
+        ledger bump (a *lazy skip*): their ``skips`` counter, empty
+        delta and generation tag materialize on the next read via
+        :meth:`sync`.  Candidates run the ordinary per-subscription
+        action (:meth:`_apply_event` — which may still conclude "skip"
+        after membership sharpening).  Coarse events (and the
+        cost-based fallback) touch every subscription, exactly as
+        before.  Cost per event: O(edges + candidates), independent of
+        the total subscription count.
+
+        The caller (:class:`~repro.service.pipeline.CommitPipeline`)
+        holds the write lock and passes the *sealed* event — batches
+        arrive already coalesced, so the deferred-event buffer is not
+        consulted.
+        """
+        with self._members:
+            subs = list(self._subs)
+        if not subs:
+            return
+        start = time.perf_counter()
+        if not event.coarse and len(event.edges) > self.coarse_threshold:
+            event = ViewEvent(
+                generation=event.generation,
+                coarse=True,
+                reason=f"cost_fallback({event.reason})",
+            )
+            for sub in subs:
+                sub._stats["coarse_fallbacks"] += 1
+        if event.coarse:
+            touched = subs
+        else:
+            with self._members:
+                candidates = self._patterns.candidates(event)
+                if candidates:
+                    # Node-level sharpening on top of the type/value
+                    # buckets: a fully-sharpenable subscription is only
+                    # a candidate when some edge hangs off a node it
+                    # actually watches (exactly the membership test
+                    # first_affected_step would apply per edge).
+                    watchers = self._watchers
+                    hit: set[Subscription] = set()
+                    for rec in event.edges:
+                        bucket = watchers.get(rec.parent)
+                        if bucket:
+                            hit |= bucket
+                    candidates = {
+                        sub for sub in candidates
+                        if sub._watched is None or sub in hit
+                    }
+            touched = [sub for sub in subs if sub in candidates]
+        for sub in touched:
+            with sub._mutex:
+                self._sync_locked(sub)
+                if self._apply_event(sub, event):
+                    self._reindex_watch(sub)
+                # Current through this event; the ledger bump below
+                # must not read as a pending skip.
+                sub._ledger_mark = self._ledger_events + 1
+        # Every untouched subscription skipped this event; account all
+        # of them in O(1) — their counters/generation catch up on read.
+        self._ledger_events += 1
+        self._ledger_gen = event.generation
+        self.publish_seconds += time.perf_counter() - start
+        self.events_processed += 1
+
+    # -- the lazy skip ledger -------------------------------------------------------
+
+    def sync(self, sub: Subscription) -> None:
+        """Fold ``sub``'s pending lazy skips into its visible state."""
+        if sub._ledger_mark == self._ledger_events:
+            return
+        with sub._mutex:
+            self._sync_locked(sub)
+
+    def _sync_locked(self, sub: Subscription) -> None:
+        """:meth:`sync` body; callers hold ``sub._mutex``."""
+        pending = self._ledger_events - sub._ledger_mark
+        if pending > 0:
+            sub._stats["skips"] += pending
+            sub._delta = ((), ())
+            sub._generation = self._ledger_gen
+        sub._ledger_mark = self._ledger_events
+
+    # -- the node-level watch index ---------------------------------------------------
+
+    def _watch_nodes(self, sub: Subscription) -> frozenset | None:
+        """Nodes ``sub``'s candidacy can be sharpened to, or ``None``.
+
+        Mirrors :func:`~repro.subscribe.deps.first_affected_step`'s
+        membership test exactly: an ``in_context`` pattern at step ``k``
+        only fires through an edge whose parent is in the cached
+        ``context_sets[k]``.  When *every* pattern of every step is
+        sharpened that way, the union of those context sets is the
+        complete set of nodes whose outgoing edges can matter.  Any
+        unsharpened pattern (``in_region`` — the region can be huge,
+        ``in_context=False`` — deep filter-chain edges, a pattern index
+        beyond the cached contexts, or no cache at all) returns
+        ``None``: the subscription must stay a candidate whenever its
+        type/value buckets match.
+        """
+        context_sets = sub._context_sets
+        if context_sets is None:
+            return None
+        watched: set = set()
+        for index, deps in enumerate(sub.profile.per_step):
+            for pattern in deps:
+                if not pattern.in_context or pattern.in_region:
+                    return None
+                if index >= len(context_sets):
+                    return None
+                watched |= context_sets[index]
+        return frozenset(watched)
+
+    def _reindex_watch(self, sub: Subscription) -> None:
+        """Re-derive ``sub``'s watch set after a context refresh.
+
+        Callers hold ``sub._mutex``; the shared index itself is guarded
+        by ``_members`` (taken inside the mutex — the registry-wide
+        lock order).
+        """
+        new = self._watch_nodes(sub)
+        old = sub._watched
+        if new == old:
+            return
+        with self._members:
+            if old:
+                self._drop_watchers(sub, old)
+            if new:
+                watchers = self._watchers
+                for node in new:
+                    bucket = watchers.get(node)
+                    if bucket is None:
+                        watchers[node] = {sub}
+                    else:
+                        bucket.add(sub)
+        sub._watched = new
+
+    def _drop_watchers(self, sub: Subscription, watched: frozenset) -> None:
+        """Remove ``sub``'s entries; callers hold ``_members``."""
+        watchers = self._watchers
+        for node in watched:
+            bucket = watchers.get(node)
+            if bucket is not None:
+                bucket.discard(sub)
+                if not bucket:
+                    del watchers[node]
+
+    def _apply_event(self, sub: Subscription, event: ViewEvent) -> bool:
+        """One subscription's maintenance action; ``True`` when the
+        action (re)built cached contexts — the caller must then refresh
+        the subscription's watch-index entries."""
         old = sub._nodes
         k = first_affected_step(sub.profile, event, sub._context_sets)
         if k is None:
-            sub.stats["skips"] += 1
+            sub._stats["skips"] += 1
             sub._delta = ((), ())
             sub._generation = event.generation
-            return
+            return False
         action = self._closure_patch(sub, event) if k == 0 else None
         if action is not None:
-            sub.stats[action] += 1
+            sub._stats[action] += 1
         elif k == 0 or sub._contexts is None or len(sub._contexts) <= k:
             # (coarse events arrive as k == 0.)
             self._refresh_full(sub)
-            sub.stats["full_refreshes"] += 1
+            sub._stats["full_refreshes"] += 1
         else:
             self._refresh_suffix(sub, k)
-            sub.stats["suffix_refreshes"] += 1
+            sub._stats["suffix_refreshes"] += 1
         sub._delta = _diff(old, sub._nodes)
         sub._generation = event.generation
+        return True
 
     def _closure_patch(self, sub: Subscription, event: ViewEvent) -> str | None:
         """Maintain a leading-``//`` subscription from the closure delta.
@@ -420,12 +735,14 @@ class SubscriptionRegistry:
             self._refresh_full(sub)
             sub._delta = _diff(old, sub._nodes)
             sub._generation = self.updater._version
-            sub.stats["fallback_refreshes"] += 1
+            sub._stats["fallback_refreshes"] += 1
+            self._reindex_watch(sub)
 
     def result_of(self, sub: Subscription) -> tuple[int, ...]:
         """Current result of ``sub`` (see :meth:`Subscription.result`)."""
         with self._read():
             with sub._mutex:
+                self._sync_locked(sub)
                 self._refresh_if_stale(sub)
                 return sub._nodes
 
@@ -435,6 +752,7 @@ class SubscriptionRegistry:
         """Last-commit ``(added, removed)`` (see :meth:`Subscription.delta`)."""
         with self._read():
             with sub._mutex:
+                self._sync_locked(sub)
                 self._refresh_if_stale(sub)
                 return sub._delta
 
@@ -444,8 +762,9 @@ class SubscriptionRegistry:
         """JSON-safe registry counters (monotonic across closes)."""
         totals = dict(self._closed_totals)
         for sub in list(self._subs):
+            self.sync(sub)  # fold pending lazy skips first
             for key in _STAT_KEYS:
-                totals[key] += sub.stats[key]
+                totals[key] += sub._stats[key]
         return {
             "subscriptions": len(self._subs),
             "events_processed": self.events_processed,

@@ -257,6 +257,7 @@ class TestConsumerProtocol:
             "events_published": 1,
             "callback_errors": 0,
             "overflows": 0,
+            "drops": 0,
             "retention": 256,
             "retained": 1,
             "floor": 0,
@@ -283,7 +284,9 @@ class TestConsumerProtocol:
 
     def test_lagging_pull_consumer_detached_at_queue_bound(self):
         service = registrar_service(changefeed_retention=2)
-        feed = service.changefeed()  # pull, never drained; bound = 4
+        # Pull, never drained; bound = 4.  A short block_timeout keeps
+        # the block_writer grace period from slowing the test down.
+        feed = service.changefeed(block_timeout=0.05)
         ops = [
             DeleteOp("course[cno=CS650]/prereq/course[cno=CS320]"),
             InsertOp("course[cno=CS650]/prereq", "course",
