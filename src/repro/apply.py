@@ -11,6 +11,9 @@ Usage::
     python -m repro.apply --workload synthetic:300 --policy propagate - < ops.jsonl
     python -m repro.apply --workload registrar --plan-only ops.jsonl   # dry run
     python -m repro.apply --workload registrar --json ops.jsonl        # JSONL out
+    python -m repro.apply --workload registrar --wal wal/ ops.jsonl    # durable
+    python -m repro.apply --workload registrar --wal wal/ --recover --stats
+    # ^ post-crash: recover the log, verify consistency, print WAL stats
 
 Input lines look like::
 
@@ -73,6 +76,9 @@ def run(
     stop_on_error: bool = True,
     show_stats: bool = False,
     snapshot_path: str | None = None,
+    wal_dir: str | None = None,
+    wal_fsync: str = "batch",
+    recover_only: bool = False,
     out: TextIO | None = None,
 ) -> int:
     """Drive the service with a JSONL op stream; returns the exit code.
@@ -80,14 +86,32 @@ def run(
     Malformed lines are reported with their line number; earlier ops
     stay applied either way.  ``stop_on_error`` (default) stops the
     stream at the first bad line, otherwise bad lines are skipped.
+
+    ``wal_dir`` makes the service durable: commits are logged, and a
+    non-empty directory is recovered before the stream is applied (so
+    successive invocations with the same ``--wal`` accumulate).
+    ``recover_only`` skips the stream entirely — recover, verify,
+    report, exit — which is the post-crash health check.
     """
     if out is None:
         out = sys.stdout
     atg, db = named_workload(workload)
     config = ViewConfig(
-        side_effects=policy, index_backend=index_backend, strict=False
+        side_effects=policy,
+        index_backend=index_backend,
+        strict=False,
+        wal_dir=wal_dir,
+        wal_fsync=wal_fsync,
     )
     service = open_view(atg, db, config=config)
+    if wal_dir is not None and not as_json:
+        print(
+            f"wal: recovered generation {service.stats()['generation']} "
+            f"from {wal_dir}",
+            file=out,
+        )
+    if recover_only:
+        lines = ()
     accepted = rejected = count = bad_lines = 0
     stopped_at: int | None = None
 
@@ -156,6 +180,19 @@ def run(
             f"{feed['consumers']} consumer(s))",
             file=out,
         )
+        # Durable-log line: what a recovery of this directory would see.
+        wal = stats["wal"]
+        if wal is not None:
+            print(
+                f"wal: {wal['records']} record(s) across "
+                f"{wal['segments']} segment(s) (fsync={wal['fsync']}, "
+                f"{wal['rotations']} rotation(s)); "
+                f"{len(wal['checkpoints'])} checkpoint(s) at "
+                f"{[c['generation'] for c in wal['checkpoints']]}; "
+                f"replay floor {wal['floor']}, "
+                f"last generation {wal['last_generation']}",
+                file=out,
+            )
     if snapshot_path is not None:
         snapshot = service.snapshot()
         snapshot.save(snapshot_path)
@@ -168,6 +205,7 @@ def run(
     if problems:
         for problem in problems:
             print(f"consistency: {problem}", file=sys.stderr)
+    service.close()  # flush the WAL tail per the fsync policy
     if bad_lines:
         return 2  # malformed input wins, as the docstring promises
     return 1 if problems else 0
@@ -180,7 +218,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "ops_file",
-        help="JSONL file of operations, or '-' for stdin",
+        nargs="?",
+        default=None,
+        help="JSONL file of operations, or '-' for stdin (optional "
+        "with --recover)",
     )
     parser.add_argument(
         "--workload",
@@ -216,6 +257,30 @@ def main(argv: list[str] | None = None) -> int:
         "python -m repro.replica)",
     )
     parser.add_argument(
+        "--wal",
+        dest="wal_dir",
+        metavar="DIR",
+        default=None,
+        help="durable changefeed log directory: commits are logged, "
+        "and an existing log is recovered before the stream is applied "
+        "(crash-safe; see docs/durability.md)",
+    )
+    parser.add_argument(
+        "--wal-fsync",
+        dest="wal_fsync",
+        choices=("always", "batch", "os"),
+        default="batch",
+        help="the log's fsync policy (default: batch)",
+    )
+    parser.add_argument(
+        "--recover",
+        dest="recover_only",
+        action="store_true",
+        help="recover the --wal directory, run the consistency check, "
+        "report and exit without applying any ops (post-crash health "
+        "check)",
+    )
+    parser.add_argument(
         "--plan-only",
         action="store_true",
         help="dry run: plan each op, print the preview, abort it",
@@ -243,32 +308,30 @@ def main(argv: list[str] | None = None) -> int:
         "and process the rest; exit status is still nonzero",
     )
     args = parser.parse_args(argv)
+    if args.recover_only and args.wal_dir is None:
+        parser.error("--recover requires --wal DIR")
+    if args.ops_file is None and not args.recover_only:
+        parser.error("ops_file is required unless --recover is given")
+    kwargs = dict(
+        workload=args.workload,
+        policy=args.policy,
+        index_backend=args.index_backend,
+        plan_only=args.plan_only,
+        as_json=args.as_json,
+        stop_on_error=args.stop_on_error,
+        show_stats=args.show_stats,
+        snapshot_path=args.snapshot_path,
+        wal_dir=args.wal_dir,
+        wal_fsync=args.wal_fsync,
+        recover_only=args.recover_only,
+    )
     try:
+        if args.ops_file is None or args.recover_only:
+            return run((), **kwargs)
         if args.ops_file == "-":
-            lines = sys.stdin
-            return run(
-                lines,
-                workload=args.workload,
-                policy=args.policy,
-                index_backend=args.index_backend,
-                plan_only=args.plan_only,
-                as_json=args.as_json,
-                stop_on_error=args.stop_on_error,
-                show_stats=args.show_stats,
-                snapshot_path=args.snapshot_path,
-            )
+            return run(sys.stdin, **kwargs)
         with open(args.ops_file, "r", encoding="utf-8") as handle:
-            return run(
-                handle,
-                workload=args.workload,
-                policy=args.policy,
-                index_backend=args.index_backend,
-                plan_only=args.plan_only,
-                as_json=args.as_json,
-                stop_on_error=args.stop_on_error,
-                show_stats=args.show_stats,
-                snapshot_path=args.snapshot_path,
-            )
+            return run(handle, **kwargs)
     except (OSError, ReproError) as exc:
         # Decode errors are handled per line inside run(); this covers
         # environment failures (unknown workload, unreadable file).

@@ -136,7 +136,7 @@ class ChangefeedConsumer:
                         self.error = ChangefeedError(
                             f"pull consumer fell behind: {len(self._queue)} "
                             f"events pending reached the queue bound of "
-                            f"{self._max_pending} (2x the retention window) "
+                            f"{self._max_pending} "
                             f"and no slot freed within "
                             f"{self._block_timeout}s; drain the backlog, "
                             f"then reattach with "

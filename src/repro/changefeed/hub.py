@@ -51,11 +51,21 @@ class _Staged:
 class ChangefeedHub:
     """Publishes one view's ΔV event stream to attached consumers."""
 
-    def __init__(self, updater, retention: int = DEFAULT_RETENTION):
+    def __init__(self, updater, retention: int = DEFAULT_RETENTION, wal=None):
         if retention < 1:
             raise ValueError(f"retention must be >= 1, got {retention}")
         self.updater = updater
         self.retention = retention
+        self.wal = wal
+        """The durable log (:class:`~repro.wal.log.WriteAheadLog`) every
+        staged event is appended to, or ``None``.  With a WAL the replay
+        floor extends below the in-memory buffer: ``open(since=g)``
+        falls back to the log when ``g`` predates the buffer."""
+        self.checkpoint_fn = None
+        """Callback (set by the façade) that cuts a WAL checkpoint of
+        the writer's current state; invoked under the writer's critical
+        section when the log's interval elapses or a coarse event is
+        staged."""
         self._members = threading.Lock()
         self._consumers: list[ChangefeedConsumer] = []
         self._buffer: ReplayBuffer | None = None
@@ -83,10 +93,15 @@ class ChangefeedHub:
     @property
     def floor(self) -> int:
         """Oldest resumable generation (the attach generation until the
-        replay buffer evicts)."""
+        replay buffer evicts; with a WAL, the log's compaction floor —
+        whichever reaches further back)."""
         if self._buffer is None:
-            return self.updater._version
-        return self._buffer.floor
+            base = self.updater._version
+        else:
+            base = self._buffer.floor
+        if self.wal is not None:
+            return min(base, self.wal.floor)
+        return base
 
     def _ensure_attached(self) -> None:
         if self._buffer is None:
@@ -142,16 +157,28 @@ class ChangefeedHub:
         if since is None:
             replayed: list[ViewEvent] = []
             start = self.updater._version
+        elif self.wal is not None and since < self._buffer.floor:
+            # The buffer has evicted this range but the durable log
+            # still covers it (validate_since checked the WAL floor):
+            # replay the logged wire-form events instead.  Identical
+            # stream — the buffer and the log are appended together.
+            replayed = self.wal.events_since(since)
+            start = since
         else:
             replayed = self._buffer.since(since)
             start = since
         consumer = ChangefeedConsumer(
             self, on_event, generation=start,
-            # Bound pull queues at twice the retention window: a replay
-            # can legitimately enqueue up to `retention` events at
-            # attach, and a consumer lagging beyond another window on
-            # top of that could no longer resume via replay anyway.
-            max_pending=2 * self.retention,
+            # Bound pull queues at twice the retention window — a
+            # consumer lagging beyond another window on top of a full
+            # replay could no longer resume via replay anyway.  A
+            # log-backed replay can exceed the buffer window (the WAL
+            # floor sits below the buffer's), so the bound must always
+            # cover the attach batch itself plus one retention window
+            # of live slack, or the attach would block on its own
+            # replay and detach the consumer it is creating.
+            max_pending=max(2 * self.retention,
+                            len(replayed) + self.retention),
             backpressure=backpressure,
             block_timeout=block_timeout,
         )
@@ -202,6 +229,16 @@ class ChangefeedHub:
             event = coalesce(self._pending)
             self._pending.clear()
         self._buffer.append(event)
+        if self.wal is not None:
+            self.wal.append(event)
+            if event.coarse or self.wal.should_checkpoint():
+                # Coarse events are not replayable (their edge list does
+                # not describe the change), so a checkpoint lands right
+                # behind them; otherwise the periodic interval decides.
+                # Still inside the writer's critical section: the store
+                # and base database are at rest at this generation.
+                if self.checkpoint_fn is not None:
+                    self.checkpoint_fn()
         self.events_published += 1
         with self._members:
             consumers = list(self._consumers)
@@ -243,4 +280,5 @@ class ChangefeedHub:
             "retention": self.retention,
             "retained": len(self._buffer) if self._buffer else 0,
             "floor": self.floor,
+            "durable": self.wal is not None,
         }

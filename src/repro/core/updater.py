@@ -357,6 +357,7 @@ class UpdatePlan:
                     edges=report.edge_records,
                     nodes=report.node_records,
                     reason="base_update",
+                    delta_r=self._base_delta,
                 ))
             else:
                 updater._emit(ViewEvent(
@@ -366,6 +367,7 @@ class UpdatePlan:
                     deferred=updater._session is not None,
                     reason=self.op.kind,
                     closure=updater._last_pair_delta,
+                    delta_r=outcome.delta_r,
                 ))
         return outcome
 
@@ -417,6 +419,12 @@ class XMLViewUpdater:
         ``'auto'`` (default: capture only while a registered consumer —
         a leading-``//`` subscription — can use it, tracked by
         :attr:`closure_consumers`).
+    store:
+        Adopt this :class:`~repro.views.store.ViewStore` instead of
+        publishing a fresh one from ``db``.  Used by WAL crash recovery
+        (:mod:`repro.wal.recover`): the restored store's node ids must
+        match the logged event stream, and republishing would allocate
+        different ones.
     """
 
     def __init__(
@@ -430,6 +438,7 @@ class XMLViewUpdater:
         rng: random.Random | None = None,
         index_backend: str = "auto",
         capture_closure_deltas: bool | str = "auto",
+        store: ViewStore | None = None,
     ):
         self.atg = atg
         self.db = db
@@ -440,7 +449,12 @@ class XMLViewUpdater:
         self.rng = rng or random.Random(20070415)
         self.index_backend = resolve_backend(index_backend)
         self.validator = StaticValidator(atg.dtd)
-        self.store: ViewStore = publish_store(atg, db)
+        # ``store=`` adopts an externally restored store (WAL crash
+        # recovery: checkpoint + replay reproduces the writer's exact
+        # node ids, which a fresh publish_store would not).
+        self.store: ViewStore = (
+            store if store is not None else publish_store(atg, db)
+        )
         self.topo: TopoOrder = TopoOrder.from_store(self.store)
         self.reach: ReachabilityIndex = build_index(
             self.store, self.topo, self.index_backend
@@ -1000,6 +1014,7 @@ class XMLViewUpdater:
                 edges=report.edge_records,
                 nodes=report.node_records,
                 reason="base_update",
+                delta_r=delta_r,
             ))
         return report
 

@@ -144,6 +144,50 @@ class EventDecodeError(ReproError):
     """A wire-format changefeed event (dict / JSON) was malformed."""
 
 
+class WalError(ReproError):
+    """Base class for the durable changefeed log (:mod:`repro.wal`)."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment or manifest failed an integrity check.
+
+    Raised for a CRC/framing failure *inside* a segment (a torn record
+    at the very tail of the log is truncated silently instead — only a
+    crash mid-append can produce one, and the record was never
+    acknowledged), for a sealed segment the manifest references but the
+    directory does not contain, and for an unreadable manifest.  The
+    failure site is machine-readable: :attr:`segment` names the file
+    and :attr:`offset` is the byte offset of the failed record
+    (``None`` when the failure is not record-granular).  Recovery from
+    interior corruption is manual by design — silently skipping a
+    record would replay a stream with a hole in it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        segment: str | None = None,
+        offset: int | None = None,
+    ):
+        super().__init__(message)
+        self.segment = segment
+        """Name of the segment (or manifest) file that failed."""
+        self.offset = offset
+        """Byte offset of the failed record within :attr:`segment`
+        (``None`` for file-level failures)."""
+
+
+class WalCheckpointError(WalError):
+    """A checkpoint the manifest references is missing or unreadable.
+
+    Checkpoints are written atomically (tmp + fsync + rename) *before*
+    the manifest starts referencing them, so a mismatch means the
+    directory was tampered with or the files landed on storage that
+    reorders renames across sync boundaries.  Replay cannot start
+    without its base state; recovery is manual.
+    """
+
+
 class ReplicaError(ReproError):
     """Base class for the replication subsystem (:mod:`repro.replica`)."""
 

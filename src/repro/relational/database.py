@@ -265,6 +265,53 @@ class Database:
         clone._tables = {name: table.copy() for name, table in self._tables.items()}
         return clone
 
+    # -- durable state (WAL checkpoints) -------------------------------------------
+
+    def export_state(self) -> dict:
+        """The complete row state, JSON-safe (schemas are code, not data).
+
+        Rows travel as lists in table insertion order, so replaying the
+        same ΔR stream against a database restored via
+        :meth:`load_state` reproduces the original byte-for-byte —
+        iteration order included.  The inverse of :meth:`load_state`.
+        """
+        return {
+            "name": self.name,
+            "tables": {
+                name: [list(row) for row in table.rows()]
+                for name, table in self._tables.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace every table's rows with :meth:`export_state` output.
+
+        The schemas (and secondary indexes) of the *existing* tables are
+        kept — like a replica's ATG, the schema is constructed by code
+        and only the data is restored.  A state naming a relation this
+        database does not define raises
+        :class:`~repro.errors.SchemaError`; rows are validated against
+        each table's schema as they are inserted.
+        """
+        tables = state.get("tables")
+        if not isinstance(tables, dict):
+            raise SchemaError(
+                f"database state must carry a 'tables' object, "
+                f"got {tables!r}"
+            )
+        unknown = sorted(set(tables) - set(self._tables))
+        if unknown:
+            raise SchemaError(
+                f"database state names unknown relation(s): {unknown}"
+            )
+        for name, table in self._tables.items():
+            rows = tables.get(name, [])
+            table._rows.clear()
+            for index in table._indexes.values():
+                index.clear()
+            for row in rows:
+                table.insert(tuple(row))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         parts = ", ".join(f"{n}[{len(t)}]" for n, t in self._tables.items())
         return f"Database({self.name}: {parts})"

@@ -1,0 +1,64 @@
+"""Folding one published event into a mirrored store.
+
+The fold algorithm is shared verbatim by the two consumers that rebuild
+writer state from the event stream — :class:`~repro.replica.view.ReplicaView`
+(live changefeed) and :mod:`repro.wal.recover` (crash recovery from the
+durable log) — so the two can never drift apart.  The steps, in order:
+
+1. install every :class:`~repro.subscribe.delta.NodeRecord` (the
+   interning side channel — id ↔ ``(element, sem)`` bindings for nodes
+   the mirror has never seen);
+2. apply every :class:`~repro.subscribe.delta.EdgeRecord` in order
+   (``add_edge`` appends rightmost exactly like the writer's, so child
+   order — XML document order — is reproduced, not approximated);
+3. mirror garbage collection: any touched non-root node left with no
+   incident edges is dropped, the writer's at-rest invariant (events
+   record *every* edge removal, the GC pass's included — see
+   ``docs/event-schema.md``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReplicaDivergedError
+from repro.subscribe.delta import ViewEvent
+from repro.views.store import ViewStore
+
+
+def fold_event(store: ViewStore, event: ViewEvent) -> None:
+    """Apply one fine-grained event's records to ``store``, in place.
+
+    Strict: an edge record referencing a node the store does not hold
+    raises :class:`~repro.errors.ReplicaDivergedError` rather than
+    papering over a gap.  The caller owns ordering (events must arrive
+    in generation order), locking, and the coarse-event policy — a
+    coarse event's edge list does not describe the change and must not
+    reach this function.
+    """
+    for rec in event.nodes:
+        store.ensure_node(rec.node, rec.element, rec.sem)
+    touched: set[int] = set()
+    for rec in event.edges:
+        if not store.has_node(rec.parent) or not store.has_node(rec.child):
+            raise ReplicaDivergedError(
+                f"event at generation {event.generation} references "
+                f"unknown node(s) {rec.parent}->{rec.child}; the "
+                f"mirror has drifted — re-bootstrap"
+            )
+        if rec.kind == "insert":
+            store.add_edge(rec.parent, rec.child)
+        else:
+            store.remove_edge(rec.parent, rec.child)
+        touched.add(rec.parent)
+        touched.add(rec.child)
+    # Mirror the writer's GC invariant: at rest, every non-root node has
+    # at least one incident edge.  Events record every edge removal (the
+    # GC pass's included), so any touched node left isolated here is
+    # exactly a node the writer collected.
+    for node in sorted(touched):
+        if (
+            node != store.root_id
+            and store.has_node(node)
+            and not store.children_of(node)
+            and not store.parents_of(node)
+        ):
+            store.remove_node(node)

@@ -39,6 +39,7 @@ from repro.errors import (
     ReplicaError,
     ReplicaStaleError,
 )
+from repro.replica.fold import fold_event
 from repro.subscribe.delta import ViewEvent
 from repro.views.store import ViewStore
 from repro.xpath.ast import XPath
@@ -118,6 +119,36 @@ class ReplicaView:
             replica.snapshots_loaded = 1
         return replica
 
+    @classmethod
+    def from_wal(cls, atg: ATG, wal_dir: str, fs=None) -> "ReplicaView":
+        """An offline replica bootstrapped from a durable changefeed log.
+
+        Opens the WAL directory read-only (safe against a live writer:
+        no truncation, no cleanup), restores the newest checkpoint's
+        snapshot, and folds every logged event past it — landing the
+        mirror at the log's last durable generation without any writer
+        process running.  No transport, no feed; the mirror is frozen
+        until the caller supplies one.
+        """
+        from repro.replica.snapshot import Snapshot
+        from repro.wal.log import WriteAheadLog
+
+        wal = WriteAheadLog(str(wal_dir), readonly=True, fs=fs)
+        try:
+            payload = wal.latest_checkpoint()
+            if payload is None:
+                raise ReplicaError(
+                    f"WAL at {wal_dir} holds no checkpoint to "
+                    f"bootstrap from"
+                )
+            snapshot = Snapshot.from_dict(payload["state"]["snapshot"])
+            replica = cls.from_snapshot(atg, snapshot)
+            for event in wal.events_since(snapshot.generation):
+                replica.apply_event(event)
+            return replica
+        finally:
+            wal.close()
+
     def bootstrap(self) -> int:
         """Fetch a snapshot, restore the store, attach the feed gaplessly.
 
@@ -184,37 +215,7 @@ class ReplicaView:
                     f"(reason={event.reason!r}): the edge list does not "
                     f"describe the change; re-bootstrap from a snapshot"
                 )
-            store = self.store
-            for rec in event.nodes:
-                store.ensure_node(rec.node, rec.element, rec.sem)
-            touched: set[int] = set()
-            for rec in event.edges:
-                if not store.has_node(rec.parent) or not store.has_node(
-                    rec.child
-                ):
-                    raise ReplicaDivergedError(
-                        f"event at generation {event.generation} references "
-                        f"unknown node(s) {rec.parent}->{rec.child}; the "
-                        f"mirror has drifted — re-bootstrap"
-                    )
-                if rec.kind == "insert":
-                    store.add_edge(rec.parent, rec.child)
-                else:
-                    store.remove_edge(rec.parent, rec.child)
-                touched.add(rec.parent)
-                touched.add(rec.child)
-            # Mirror the writer's GC invariant: at rest, every non-root
-            # node has at least one incident edge.  Events record every
-            # edge removal (the GC pass's included), so any touched node
-            # left isolated here is exactly a node the writer collected.
-            for node in sorted(touched):
-                if (
-                    node != store.root_id
-                    and store.has_node(node)
-                    and not store.children_of(node)
-                    and not store.parents_of(node)
-                ):
-                    store.remove_node(node)
+            fold_event(self.store, event)
             self.generation = event.generation
             self.events_folded += 1
             self._topo_dirty = True

@@ -74,6 +74,27 @@ class ViewConfig:
         experiment.  Event contents, subscription results and replica
         convergence are identical either way; see the concurrency-model
         section of ``docs/architecture.md``.
+    wal_dir:
+        Directory of the durable changefeed log (:mod:`repro.wal`), or
+        ``None`` (default) for a purely in-memory service.  When set,
+        every committed event is appended to the log, periodic
+        checkpoints are cut, and ``open_view`` against a non-empty
+        directory *recovers* the exact last-durable state instead of
+        building the view from the base tables.  See
+        ``docs/durability.md``.
+    wal_fsync:
+        The log's fsync policy: ``'always'`` (fsync per commit),
+        ``'batch'`` (default: fsync every
+        :data:`~repro.wal.log.BATCH_FSYNC_INTERVAL` commits and at every
+        rotation/checkpoint/close) or ``'os'`` (leave flushing to the
+        OS page cache).
+    wal_segment_bytes:
+        Segment rotation threshold in bytes.
+    wal_checkpoint_every:
+        Committed events between periodic WAL checkpoints.
+    wal_keep_checkpoints:
+        Checkpoints retained before compaction advances the replay
+        floor and deletes fully-covered segments.
     """
 
     index_backend: str = "auto"
@@ -86,6 +107,11 @@ class ViewConfig:
     coarse_event_threshold: int | None = None
     capture_closure_deltas: bool | str = "auto"
     commit_pipeline: bool = True
+    wal_dir: str | None = None
+    wal_fsync: str = "batch"
+    wal_segment_bytes: int = 1 << 20
+    wal_checkpoint_every: int = 256
+    wal_keep_checkpoints: int = 2
 
     def __post_init__(self):
         resolve_backend(self.index_backend)  # raises on unknown names
@@ -121,6 +147,31 @@ class ViewConfig:
             raise ReproError(
                 f"commit_pipeline must be a bool, "
                 f"got {self.commit_pipeline!r}"
+            )
+        if self.wal_dir is not None and not isinstance(self.wal_dir, str):
+            raise ReproError(
+                f"wal_dir must be a string path or None, "
+                f"got {self.wal_dir!r}"
+            )
+        if self.wal_fsync not in ("always", "batch", "os"):
+            raise ReproError(
+                f"wal_fsync must be 'always', 'batch' or 'os', "
+                f"got {self.wal_fsync!r}"
+            )
+        if self.wal_segment_bytes < 1024:
+            raise ReproError(
+                f"wal_segment_bytes must be >= 1024, "
+                f"got {self.wal_segment_bytes!r}"
+            )
+        if self.wal_checkpoint_every < 1:
+            raise ReproError(
+                f"wal_checkpoint_every must be >= 1, "
+                f"got {self.wal_checkpoint_every!r}"
+            )
+        if self.wal_keep_checkpoints < 1:
+            raise ReproError(
+                f"wal_keep_checkpoints must be >= 1, "
+                f"got {self.wal_keep_checkpoints!r}"
             )
 
     @property

@@ -58,9 +58,33 @@ class ViewService:
         atg: ATG,
         db: Database,
         config: ViewConfig | None = None,
+        wal_fs=None,
     ):
         self.config = config or ViewConfig()
         self._lock = RWLock()
+        # With ``wal_dir`` set, open (or create) the durable changefeed
+        # log first: a non-empty log *recovers* the exact last-durable
+        # state — checkpoint restore + record replay — instead of
+        # publishing the view fresh from the base tables (whose node
+        # ids would not match the logged event stream).
+        self.wal = None
+        recovered_store = None
+        recovered_generation: int | None = None
+        if self.config.wal_dir is not None:
+            from repro.wal.log import WriteAheadLog
+            from repro.wal.recover import recover_state
+
+            self.wal = WriteAheadLog(
+                self.config.wal_dir,
+                fsync=self.config.wal_fsync,
+                segment_bytes=self.config.wal_segment_bytes,
+                checkpoint_every=self.config.wal_checkpoint_every,
+                keep_checkpoints=self.config.wal_keep_checkpoints,
+                fs=wal_fs,
+            )
+            recovered = recover_state(atg, db, self.wal)
+            if recovered is not None:
+                recovered_store, recovered_generation = recovered
         self.updater = XMLViewUpdater(
             atg,
             db,
@@ -71,7 +95,12 @@ class ViewService:
             rng=self.config.make_rng(),
             index_backend=self.config.index_backend,
             capture_closure_deltas=self.config.capture_closure_deltas,
+            store=recovered_store,
         )
+        if recovered_generation is not None:
+            # Resume the version counter where the log left off so new
+            # commits extend the logged generation sequence.
+            self.updater._version = recovered_generation
         # The registry attaches itself as a commit observer on first
         # subscribe(), so services that never subscribe pay nothing on
         # the write path.
@@ -89,6 +118,7 @@ class ViewService:
         self.changefeeds = ChangefeedHub(
             self.updater,
             retention=self.config.changefeed_retention,
+            wal=self.wal,
         )
         # The staged commit pipeline (plan → mutate → maintain →
         # publish): writes open a pipeline scope instead of a bare write
@@ -103,6 +133,69 @@ class ViewService:
                 self.changefeeds,
             )
             self.updater._sink = self.pipeline
+        if self.wal is not None:
+            # A durable service attaches the hub at construction (not
+            # lazily on the first changefeed() call) so every commit
+            # from here on is logged.  The registry pins itself first,
+            # preserving the registry-before-hub observer ordering the
+            # lazy path establishes.  The initial checkpoint makes the
+            # replay floor point at a live checkpoint from generation 0.
+            self.changefeeds.checkpoint_fn = self._wal_checkpoint
+            self.subscriptions.ensure_registered(pin=True)
+            self.changefeeds._ensure_attached()
+            if not self.wal.has_checkpoint:
+                self._wal_checkpoint()
+
+    def _wal_checkpoint(self) -> None:
+        """Cut a WAL checkpoint of the current at-rest state.
+
+        Runs inside the writer's critical section (the hub invokes it
+        from :meth:`~repro.changefeed.hub.ChangefeedHub.stage`, or
+        ``__init__`` calls it before the service is shared), so the
+        store and base database are consistent at the current
+        generation.  The payload pairs the standard replication
+        :class:`~repro.replica.snapshot.Snapshot` with the base rows —
+        everything recovery needs to resume, and enough for
+        :meth:`~repro.replica.view.ReplicaView.from_wal` to bootstrap
+        offline.
+        """
+        from repro.replica.snapshot import Snapshot
+
+        snapshot = Snapshot.capture(
+            self.updater.store,
+            generation=self.updater._version,
+            config=self.config.to_dict(),
+            index_backend=self.updater.index_backend,
+        )
+        self.wal.write_checkpoint(
+            {
+                "snapshot": snapshot.to_dict(),
+                "db": self.updater.db.export_state(),
+            },
+            self.updater._version,
+        )
+
+    def close(self) -> None:
+        """Flush and release the durable log, if any (idempotent).
+
+        A service without ``wal_dir`` has nothing to release; with one,
+        ``close()`` fsyncs the active segment per the fsync policy and
+        drops cached descriptors.  The service object itself remains
+        readable — only the log is detached, and further *writes* would
+        fail on the closed log, so treat the service as done.
+        """
+        if self.wal is not None:
+            with self._lock.write():
+                self.wal.close()
+
+    def __enter__(self) -> "ViewService":
+        """Context-manager entry (no side effects)."""
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+        return False
 
     @contextmanager
     def _write_scope(self):
@@ -340,6 +433,7 @@ class ViewService:
                     if self.pipeline is not None
                     else None
                 ),
+                "wal": self.wal.stats() if self.wal is not None else None,
                 "config": self.config.to_dict(),
             }
 
@@ -411,7 +505,19 @@ class _BatchHandle:
 
 
 def open_view(
-    atg: ATG, db: Database, config: ViewConfig | None = None
+    atg: ATG,
+    db: Database,
+    config: ViewConfig | None = None,
+    wal_fs=None,
 ) -> ViewService:
-    """Publish ``σ(I)`` and open the plan/commit service façade over it."""
-    return ViewService(atg, db, config=config)
+    """Publish ``σ(I)`` and open the plan/commit service façade over it.
+
+    With ``config.wal_dir`` set, an existing log in that directory is
+    *recovered* instead: the newest checkpoint is restored into ``db``
+    and the store, the logged records past it are replayed, and the
+    service resumes at the last durable generation (see
+    ``docs/durability.md``).  ``wal_fs`` injects a file-system seam for
+    the log (fault-injection tests); it is deliberately not part of
+    :class:`~repro.service.config.ViewConfig`, which stays serializable.
+    """
+    return ViewService(atg, db, config=config, wal_fs=wal_fs)

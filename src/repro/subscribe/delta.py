@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import EventDecodeError
+from repro.relational.database import RelationalDelta
 from repro.views.store import ViewDelta, ViewStore
 
 #: Version of the frozen public event wire format (see
@@ -226,6 +227,15 @@ class ViewEvent:
     "not captured, fall back to re-evaluation", and the field is
     deliberately absent from the wire format (:meth:`to_dict`)."""
 
+    delta_r: RelationalDelta | None = None
+    """The base-table group update ``ΔR`` this commit applied (``None``
+    when the commit touched no relations — e.g. a batch flush's GC-only
+    event).  Engine-internal like :attr:`closure` and deliberately
+    absent from the wire format (:meth:`to_dict`): consumers see only
+    the view-side ΔV, but the durable changefeed log (:mod:`repro.wal`)
+    persists it alongside each event so crash recovery can restore the
+    base database ``I`` in lockstep with the view."""
+
     # -- the frozen public wire format (docs/event-schema.md) -------------------
 
     def to_dict(self) -> dict:
@@ -332,6 +342,7 @@ def coalesce(events: Iterable[ViewEvent]) -> ViewEvent:
     merged = ViewEvent(generation=0)
     last = None
     seen_nodes: set[int] = set()
+    delta_ops: list = []
     for event in events:
         merged.generation = max(merged.generation, event.generation)
         merged.coarse = merged.coarse or event.coarse
@@ -340,9 +351,17 @@ def coalesce(events: Iterable[ViewEvent]) -> ViewEvent:
             if rec.node not in seen_nodes:
                 seen_nodes.add(rec.node)
                 merged.nodes.append(rec)
+        if event.delta_r is not None:
+            # ΔR ops concatenate in commit order (a batch's per-op
+            # deferred events each carry their own ΔR; the flush event
+            # carries none), so replaying the merged delta reproduces
+            # the batch's base-table effect exactly.
+            delta_ops.extend(event.delta_r.ops)
         if event.reason:
             merged.reason = event.reason
         last = event
+    if delta_ops:
+        merged.delta_r = RelationalDelta(delta_ops)
     # ``M`` is untouched while repairs are deferred, so the flush event
     # (always last in the buffer) carries the batch's entire closure
     # delta; mid-batch events have ``closure=None`` by construction.

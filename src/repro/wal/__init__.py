@@ -1,0 +1,39 @@
+"""Durable changefeed log: segments, checkpoints, crash recovery.
+
+The subsystem behind ``ViewConfig(wal_dir=...)``: every published
+changefeed event (plus its base-table ΔR) is appended to a rotating,
+CRC-framed segment log with periodic snapshot checkpoints, so a writer
+process can die at *any* instant — mid-append, mid-rename, mid-fsync —
+and ``repro.open_view`` restores the exact last-acknowledged state from
+the directory.  Durable consumers resume past process death the same
+way: ``service.changefeed(since=g)`` falls back to the log when ``g``
+has dropped below the in-memory replay buffer's floor.
+
+See ``docs/durability.md`` for the record framing, fsync-policy
+tradeoffs, recovery sequence and compaction semantics.
+"""
+
+from repro.wal.fs import OsFileSystem
+from repro.wal.log import (
+    BATCH_FSYNC_INTERVAL,
+    FSYNC_POLICIES,
+    WriteAheadLog,
+    decode_delta,
+    encode_delta,
+)
+from repro.wal.recover import recover_state
+from repro.wal.segment import FRAME_OVERHEAD, TornTail, encode_record, read_segment
+
+__all__ = [
+    "BATCH_FSYNC_INTERVAL",
+    "FRAME_OVERHEAD",
+    "FSYNC_POLICIES",
+    "OsFileSystem",
+    "TornTail",
+    "WriteAheadLog",
+    "decode_delta",
+    "encode_delta",
+    "encode_record",
+    "read_segment",
+    "recover_state",
+]

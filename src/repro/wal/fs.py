@@ -1,0 +1,133 @@
+"""The file-system seam under the write-ahead log.
+
+Every byte the WAL touches goes through one :class:`FileSystem`-shaped
+object, so the crash-point fault-injection harness (``tests/faults.py``)
+can wrap it: count the durability-relevant operations (appends, full
+writes, fsyncs, renames), deterministically fail at the Nth one, or
+record them all and later *materialize* the exact on-disk state at any
+boundary in a fresh directory.  Production uses :class:`OsFileSystem`,
+a thin veneer over ``os`` that keeps the active segment's file
+descriptor cached (one ``open()`` per append would dominate the commit
+path).
+
+The interface is path-based and deliberately small — exactly the
+operations whose ordering durability arguments are made of:
+
+========================  =====================================================
+``append(path, data)``    append bytes (creating the file if needed)
+``write_bytes(p, data)``  create/replace a whole file (tmp files)
+``fsync(path)``           flush one file's data to stable storage
+``fsync_dir(path)``       flush a *directory* entry (makes renames durable)
+``rename(src, dst)``      atomic replace (POSIX rename semantics)
+``truncate(p, size)``     cut a file (dropping a torn tail record)
+``read_bytes(path)``      whole-file read
+``remove(path)``          delete a file (compaction, orphan cleanup)
+``exists / listdir``      existence probe / directory listing
+``makedirs(path)``        create a directory tree (idempotent)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class OsFileSystem:
+    """The real thing: ``os``-level file operations with an fd cache.
+
+    Append and fsync keep a per-path file descriptor open (the WAL
+    appends to one active segment thousands of times); any operation
+    that invalidates a path (rename, remove, truncate) drops its cached
+    descriptor first.  Not thread-safe by itself — the WAL serializes
+    all calls under the writer's critical section.
+    """
+
+    def __init__(self) -> None:
+        self._fds: dict[str, int] = {}
+
+    def _fd(self, path: str) -> int:
+        fd = self._fds.get(path)
+        if fd is None:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            self._fds[path] = fd
+        return fd
+
+    def _drop(self, path: str) -> None:
+        fd = self._fds.pop(path, None)
+        if fd is not None:
+            os.close(fd)
+
+    # -- mutation (the crash-boundary operations) ----------------------------------
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append ``data`` to ``path``, creating the file if needed."""
+        os.write(self._fd(path), data)
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        """Create or replace ``path`` with exactly ``data``."""
+        self._drop(path)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def fsync(self, path: str) -> None:
+        """Flush ``path``'s data and metadata to stable storage."""
+        fd = self._fds.get(path)
+        if fd is not None:
+            os.fsync(fd)
+            return
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, path: str) -> None:
+        """Flush a directory entry (what makes a rename durable)."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically replace ``dst`` with ``src`` (POSIX rename)."""
+        self._drop(src)
+        self._drop(dst)
+        os.replace(src, dst)
+
+    def truncate(self, path: str, size: int) -> None:
+        """Cut ``path`` to ``size`` bytes (torn-tail removal)."""
+        self._drop(path)
+        os.truncate(path, size)
+
+    def remove(self, path: str) -> None:
+        """Delete ``path`` (compaction and orphan cleanup)."""
+        self._drop(path)
+        os.remove(path)
+
+    # -- reads / probes --------------------------------------------------------------
+
+    def read_bytes(self, path: str) -> bytes:
+        """The whole file at ``path``."""
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` exists."""
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        """Directory entries of ``path``, sorted."""
+        return sorted(os.listdir(path))
+
+    def makedirs(self, path: str) -> None:
+        """Create ``path`` (and parents); a no-op when present."""
+        os.makedirs(path, exist_ok=True)
+
+    def close(self) -> None:
+        """Release every cached descriptor (idempotent)."""
+        for path in list(self._fds):
+            self._drop(path)

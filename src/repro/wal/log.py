@@ -1,0 +1,577 @@
+"""The write-ahead log: rotating segments, manifest, checkpoints.
+
+One :class:`WriteAheadLog` per WAL directory.  The layout::
+
+    wal/
+      manifest.json        # which files are live, and the replay floor
+      seg-00000001.wal     # sealed segment (length/CRC-framed records)
+      seg-00000002.wal     # the active segment (appends go here)
+      ckpt-000000000042.gz # checkpoint: snapshot + base-db state at gen 42
+
+Every committed changefeed event is appended to the active segment as
+one framed record (:mod:`repro.wal.segment`) carrying the event's
+frozen wire form *plus* the commit's base-table ΔR (engine-internal,
+never on the changefeed wire) — together they are exactly what crash
+recovery needs to restore both the view store and the base database.
+
+Durability discipline:
+
+- records are written with ``os.write`` (no userspace buffering), so an
+  un-fsynced record survives a *process* crash; the fsync policy only
+  decides exposure to a *machine* crash;
+- the manifest is replaced atomically (tmp + fsync + rename + directory
+  fsync), and checkpoints are fully durable *before* the manifest
+  references them, so a manifest never points at bytes that might not
+  exist — anything a crash strands is an unreferenced orphan, removed
+  at the next open;
+- the active segment is fsynced before a checkpoint is cut, so a
+  surviving checkpoint can never be newer than the surviving log tail
+  (a consumer resuming from below the checkpoint would otherwise find
+  a hole).
+
+Retention: each checkpoint advances the *replay floor* to the oldest
+retained checkpoint's generation and deletes segments wholly below it,
+so :class:`~repro.errors.ReplayGapError.oldest_available` always names
+a generation some live checkpoint covers.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pickle
+
+from repro.errors import (
+    ReplayGapError,
+    WalCheckpointError,
+    WalCorruptionError,
+    WalError,
+)
+from repro.relational.database import DeltaOp, RelationalDelta
+from repro.subscribe.delta import ViewEvent
+from repro.wal.fs import OsFileSystem
+from repro.wal.segment import encode_record, read_segment
+
+#: Manifest envelope format tag / version.
+MANIFEST_FORMAT = "repro-wal"
+MANIFEST_VERSION = 1
+
+#: Checkpoint envelope format tag / version.
+CHECKPOINT_FORMAT = "repro-wal-checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: The fsync policies (see ``docs/durability.md`` for the tradeoffs).
+FSYNC_POLICIES = ("always", "batch", "os")
+
+#: Appends between fsyncs under the ``batch`` policy (rotation,
+#: checkpoints and ``close()`` always sync the active segment first).
+BATCH_FSYNC_INTERVAL = 32
+
+_MANIFEST = "manifest.json"
+
+
+def encode_delta(delta: RelationalDelta | None) -> list | None:
+    """The JSON-safe record form of a commit's ΔR (``None`` stays)."""
+    if delta is None or not delta.ops:
+        return None
+    return [[op.kind, op.relation, list(op.row)] for op in delta.ops]
+
+
+def decode_delta(payload) -> RelationalDelta | None:
+    """Inverse of :func:`encode_delta` (rows come back as tuples)."""
+    if payload is None:
+        return None
+    return RelationalDelta(
+        DeltaOp(kind, relation, tuple(row)) for kind, relation, row in payload
+    )
+
+
+class WriteAheadLog:
+    """An append-only, checkpointed changefeed log in one directory.
+
+    Parameters
+    ----------
+    directory:
+        The WAL directory (created if absent, unless ``readonly``).
+    fsync:
+        ``'always'`` (fsync per append — every acknowledged commit
+        survives power loss), ``'batch'`` (fsync every
+        :data:`BATCH_FSYNC_INTERVAL` appends and at every rotation /
+        checkpoint / close — the default), or ``'os'`` (no explicit
+        fsync; the OS page cache decides).
+    segment_bytes:
+        Rotation threshold: an append that grows the active segment to
+        this size seals it and starts a new one.
+    checkpoint_every:
+        Records between periodic checkpoints (the hub consults
+        :meth:`should_checkpoint` after each append).
+    keep_checkpoints:
+        Retained checkpoints; writing one past this count compacts the
+        oldest away and advances the replay floor.
+    fs:
+        The file-system seam (:class:`~repro.wal.fs.OsFileSystem` by
+        default; tests inject fault-injection wrappers).
+    readonly:
+        Open without mutating: no orphan cleanup, no torn-tail
+        truncation (the tail is simply ignored), appends and
+        checkpoints refused.  Safe against a directory another process
+        is actively writing.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "batch",
+        segment_bytes: int = 1 << 20,
+        checkpoint_every: int = 256,
+        keep_checkpoints: int = 2,
+        fs=None,
+        readonly: bool = False,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes < 1024:
+            raise WalError(
+                f"segment_bytes must be >= 1024, got {segment_bytes!r}"
+            )
+        if checkpoint_every < 1:
+            raise WalError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
+            )
+        if keep_checkpoints < 1:
+            raise WalError(
+                f"keep_checkpoints must be >= 1, got {keep_checkpoints!r}"
+            )
+        self.directory = str(directory)
+        self.fsync_policy = fsync
+        self.segment_bytes = segment_bytes
+        self.checkpoint_every = checkpoint_every
+        self.keep_checkpoints = keep_checkpoints
+        self.readonly = readonly
+        self.fs = fs if fs is not None else OsFileSystem()
+        self._sealed: list[dict] = []          # [{"name": ..., "last": gen}]
+        self._active: str = ""
+        self._checkpoints: list[dict] = []     # [{"name": ..., "generation"}]
+        self._floor = 0
+        self._last_generation = 0
+        self._active_size = 0
+        self._records: list[tuple[int, dict]] = []
+        self._since_checkpoint = 0
+        self._unsynced = 0
+        self.records_appended = 0
+        """Records appended by *this* process (not counting replay)."""
+        self.fsyncs = 0
+        """Explicit segment fsyncs issued (policy-dependent)."""
+        self.rotations = 0
+        """Segments sealed by this process."""
+        self.checkpoints_written = 0
+        """Checkpoints cut by this process."""
+        self.torn_dropped = 0
+        """Torn tail records dropped (truncated) at open."""
+        self._open()
+
+    # -- paths -----------------------------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return f"{self.directory}/{name}"
+
+    @staticmethod
+    def _segment_name(seq: int) -> str:
+        return f"seg-{seq:08d}.wal"
+
+    @staticmethod
+    def _checkpoint_name(generation: int) -> str:
+        return f"ckpt-{generation:012d}.gz"
+
+    # -- open ------------------------------------------------------------------------
+
+    def _open(self) -> None:
+        fs = self.fs
+        manifest_path = self._path(_MANIFEST)
+        if not fs.exists(manifest_path):
+            if self.readonly:
+                raise WalError(
+                    f"{self.directory} is not a WAL directory "
+                    f"(no {_MANIFEST})"
+                )
+            fs.makedirs(self.directory)
+            self._active = self._segment_name(1)
+            self._write_manifest()
+            return
+        try:
+            manifest = json.loads(fs.read_bytes(manifest_path))
+        except ValueError as exc:
+            raise WalCorruptionError(
+                f"WAL manifest is not valid JSON: {exc}", segment=_MANIFEST
+            ) from None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != MANIFEST_FORMAT
+            or manifest.get("version") != MANIFEST_VERSION
+        ):
+            raise WalCorruptionError(
+                f"not a {MANIFEST_FORMAT}/{MANIFEST_VERSION} manifest: "
+                f"{str(manifest)[:80]}",
+                segment=_MANIFEST,
+            )
+        self._sealed = list(manifest.get("sealed", []))
+        self._active = manifest["active"]
+        self._checkpoints = list(manifest.get("checkpoints", []))
+        self._floor = manifest.get("floor", 0)
+        if not self.readonly:
+            self._remove_orphans()
+        for entry in self._checkpoints:
+            if not fs.exists(self._path(entry["name"])):
+                raise WalCheckpointError(
+                    f"manifest references checkpoint {entry['name']} "
+                    f"(generation {entry['generation']}) but the file is "
+                    f"missing from {self.directory}"
+                )
+        self._scan_segments()
+
+    def _remove_orphans(self) -> None:
+        """Drop files a crash stranded outside the manifest."""
+        referenced = {entry["name"] for entry in self._sealed}
+        referenced.add(self._active)
+        referenced.update(entry["name"] for entry in self._checkpoints)
+        referenced.add(_MANIFEST)
+        for name in self.fs.listdir(self.directory):
+            unowned = name.startswith(("seg-", "ckpt-", "tmp-"))
+            if unowned and name not in referenced:
+                self.fs.remove(self._path(name))
+
+    def _scan_segments(self) -> None:
+        """Replay every live segment into the in-memory record cache.
+
+        Sealed segments must decode completely (any failure is interior
+        corruption); the active segment may end in a torn record, which
+        is truncated away (or, read-only, ignored).
+        """
+        fs = self.fs
+        for entry in self._sealed:
+            path = self._path(entry["name"])
+            if not fs.exists(path):
+                raise WalCorruptionError(
+                    f"manifest references sealed segment {entry['name']} "
+                    f"but the file is missing from {self.directory}",
+                    segment=entry["name"],
+                )
+            records, _ = read_segment(
+                fs.read_bytes(path), entry["name"], last=False
+            )
+            self._ingest(records)
+        active_path = self._path(self._active)
+        if fs.exists(active_path):
+            data = fs.read_bytes(active_path)
+            records, torn = read_segment(data, self._active, last=True)
+            if torn is not None:
+                self.torn_dropped += 1
+                if not self.readonly:
+                    fs.truncate(active_path, torn.offset)
+                    if self.fsync_policy != "os":
+                        fs.fsync(active_path)
+                self._active_size = torn.offset
+            else:
+                self._active_size = len(data)
+            self._ingest(records)
+        newest = self._checkpoints[-1]["generation"] if self._checkpoints else 0
+        self._last_generation = max(self._last_generation, newest)
+        self._since_checkpoint = sum(
+            1 for gen, _ in self._records if gen > newest
+        )
+
+    def _ingest(self, records: list[tuple[int, dict]]) -> None:
+        for _, payload in records:
+            generation = payload.get("generation")
+            if not isinstance(generation, int) or isinstance(generation, bool):
+                raise WalCorruptionError(
+                    f"record carries no integer generation: "
+                    f"{str(payload)[:80]}"
+                )
+            self._records.append((generation, payload))
+            self._last_generation = max(self._last_generation, generation)
+
+    # -- the manifest ----------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        data = json.dumps(
+            {
+                "format": MANIFEST_FORMAT,
+                "version": MANIFEST_VERSION,
+                "sealed": self._sealed,
+                "active": self._active,
+                "checkpoints": self._checkpoints,
+                "floor": self._floor,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        fs = self.fs
+        fs.makedirs(self.directory)
+        tmp = self._path("tmp-manifest.json")
+        fs.write_bytes(tmp, data)
+        if self.fsync_policy != "os":
+            fs.fsync(tmp)
+        fs.rename(tmp, self._path(_MANIFEST))
+        if self.fsync_policy != "os":
+            fs.fsync_dir(self.directory)
+
+    # -- the write path ----------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self.readonly:
+            raise WalError("this WAL handle is read-only")
+
+    def append(self, event: ViewEvent) -> None:
+        """Durably log one published event (+ its ΔR) in commit order.
+
+        Called by the changefeed hub inside the writer's critical
+        section, after the commit's state change and replay-buffer
+        append — the WAL sees exactly the published event stream.
+        """
+        self._check_writable()
+        if event.generation <= self._last_generation:
+            raise WalError(
+                f"append out of order: generation {event.generation} after "
+                f"{self._last_generation}"
+            )
+        payload = {
+            "generation": event.generation,
+            "event": event.to_dict(),
+            "delta_r": encode_delta(event.delta_r),
+        }
+        data = encode_record(payload)
+        path = self._path(self._active)
+        self.fs.append(path, data)
+        self._active_size += len(data)
+        self._records.append((event.generation, payload))
+        self._last_generation = event.generation
+        self.records_appended += 1
+        self._since_checkpoint += 1
+        self._unsynced += 1
+        if self.fsync_policy == "always" or (
+            self.fsync_policy == "batch"
+            and self._unsynced >= BATCH_FSYNC_INTERVAL
+        ):
+            self._fsync_active()
+        if self._active_size >= self.segment_bytes:
+            self._rotate()
+
+    def _fsync_active(self) -> None:
+        path = self._path(self._active)
+        if self._unsynced and self.fs.exists(path):
+            self.fs.fsync(path)
+            self.fsyncs += 1
+        self._unsynced = 0
+
+    def _rotate(self) -> None:
+        """Seal the active segment and open a fresh one (lazily)."""
+        if self.fsync_policy != "os":
+            self._fsync_active()
+        self._sealed.append(
+            {"name": self._active, "last": self._last_generation}
+        )
+        seq = max(
+            (
+                int(entry["name"][4:12])
+                for entry in (*self._sealed, {"name": self._active})
+            ),
+            default=0,
+        )
+        self._active = self._segment_name(seq + 1)
+        self._active_size = 0
+        self._unsynced = 0
+        self.rotations += 1
+        self._write_manifest()
+
+    # -- checkpoints -------------------------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        """Whether the periodic-checkpoint interval has elapsed."""
+        return self._since_checkpoint >= self.checkpoint_every
+
+    def write_checkpoint(self, state: dict, generation: int) -> None:
+        """Cut a checkpoint of ``state`` at ``generation``, then compact.
+
+        ``state`` is the service's JSON/pickle-safe base payload (the
+        snapshot envelope plus the base database's rows — see
+        :meth:`~repro.service.facade.ViewService` wiring); the WAL wraps
+        it in its own versioned envelope.  The checkpoint is fully
+        durable before the manifest references it; retention then drops
+        checkpoints beyond ``keep_checkpoints``, advances the replay
+        floor to the oldest kept one, and deletes segments wholly below
+        the floor.
+        """
+        self._check_writable()
+        if (
+            self._checkpoints
+            and self._checkpoints[-1]["generation"] == generation
+        ):
+            return  # idempotent (e.g. a coarse event right after a cut)
+        if self.fsync_policy != "os":
+            # The log tail must never trail a surviving checkpoint.
+            self._fsync_active()
+        blob = gzip.compress(
+            pickle.dumps(
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "version": CHECKPOINT_VERSION,
+                    "generation": generation,
+                    "state": state,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+        name = self._checkpoint_name(generation)
+        tmp = self._path(f"tmp-{name}")
+        fs = self.fs
+        fs.write_bytes(tmp, blob)
+        if self.fsync_policy != "os":
+            fs.fsync(tmp)
+        fs.rename(tmp, self._path(name))
+        if self.fsync_policy != "os":
+            fs.fsync_dir(self.directory)
+        self._checkpoints.append({"name": name, "generation": generation})
+        dead: list[str] = []
+        while len(self._checkpoints) > self.keep_checkpoints:
+            dead.append(self._checkpoints.pop(0)["name"])
+        self._floor = self._checkpoints[0]["generation"]
+        kept_sealed: list[dict] = []
+        for entry in self._sealed:
+            if entry["last"] <= self._floor:
+                dead.append(entry["name"])
+            else:
+                kept_sealed.append(entry)
+        self._sealed = kept_sealed
+        # Manifest first: a crash after the rename leaves the dead files
+        # as orphans (cleaned at next open), never dangling references.
+        self._write_manifest()
+        for name in dead:
+            fs.remove(self._path(name))
+        self._records = [
+            (gen, payload)
+            for gen, payload in self._records
+            if gen > self._floor or self._covered(gen)
+        ]
+        self._since_checkpoint = sum(
+            1 for gen, _ in self._records if gen > generation
+        )
+        self.checkpoints_written += 1
+
+    def _covered(self, generation: int) -> bool:
+        """Whether a record at ``generation`` is still on disk."""
+        if generation > self._floor:
+            return True
+        return any(entry["last"] >= generation for entry in self._sealed)
+
+    def latest_checkpoint(self) -> dict | None:
+        """The newest checkpoint's envelope (``None`` when none exist).
+
+        The returned dict carries ``generation`` and the caller's
+        ``state`` payload.  A checkpoint the manifest references but
+        cannot be read back raises
+        :class:`~repro.errors.WalCheckpointError`.
+        """
+        if not self._checkpoints:
+            return None
+        entry = self._checkpoints[-1]
+        try:
+            payload = pickle.loads(
+                gzip.decompress(self.fs.read_bytes(self._path(entry["name"])))
+            )
+        except Exception as exc:
+            raise WalCheckpointError(
+                f"checkpoint {entry['name']} (generation "
+                f"{entry['generation']}) cannot be read: {exc}"
+            ) from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CHECKPOINT_FORMAT
+            or payload.get("version") != CHECKPOINT_VERSION
+            or payload.get("generation") != entry["generation"]
+        ):
+            raise WalCheckpointError(
+                f"checkpoint {entry['name']} does not match the manifest "
+                f"(expected {CHECKPOINT_FORMAT}/{CHECKPOINT_VERSION} at "
+                f"generation {entry['generation']})"
+            )
+        return payload
+
+    # -- replay -----------------------------------------------------------------------
+
+    @property
+    def has_checkpoint(self) -> bool:
+        """Whether the manifest references at least one checkpoint."""
+        return bool(self._checkpoints)
+
+    @property
+    def floor(self) -> int:
+        """Oldest generation replayable from this log (compaction bound)."""
+        return self._floor
+
+    @property
+    def last_generation(self) -> int:
+        """Generation of the newest logged record (or checkpoint)."""
+        return self._last_generation
+
+    def records_since(self, generation: int) -> list[tuple[int, dict]]:
+        """Every logged record after ``generation``, in commit order.
+
+        Each item is ``(generation, payload)`` where the payload carries
+        the event wire dict plus the encoded ΔR.  A resume point below
+        the replay floor raises :class:`~repro.errors.ReplayGapError`
+        whose ``oldest_available`` names the oldest live checkpoint.
+        """
+        if generation < self._floor:
+            raise ReplayGapError(since=generation, floor=self._floor)
+        return [
+            (gen, payload)
+            for gen, payload in self._records
+            if gen > generation
+        ]
+
+    def events_since(self, generation: int) -> list[ViewEvent]:
+        """The logged *events* after ``generation`` (wire-form decode).
+
+        What the changefeed hub replays for a durable consumer whose
+        resume point has dropped below the in-memory buffer's floor.
+        The decoded events carry only wire fields (no closure deltas,
+        no ΔR) — exactly what a replayed consumer would have seen live.
+        """
+        return [
+            ViewEvent.from_dict(payload["event"])
+            for _, payload in self.records_since(generation)
+        ]
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe log statistics (for ``service.stats()['wal']``)."""
+        return {
+            "directory": self.directory,
+            "fsync": self.fsync_policy,
+            "segments": len(self._sealed) + 1,
+            "active_segment": self._active,
+            "active_bytes": self._active_size,
+            "records": len(self._records),
+            "records_appended": self.records_appended,
+            "fsyncs": self.fsyncs,
+            "rotations": self.rotations,
+            "checkpoints": [
+                dict(entry) for entry in self._checkpoints
+            ],
+            "checkpoints_written": self.checkpoints_written,
+            "floor": self._floor,
+            "last_generation": self._last_generation,
+            "torn_dropped": self.torn_dropped,
+        }
+
+    def close(self) -> None:
+        """Flush the tail per policy and release descriptors (idempotent)."""
+        if not self.readonly and self.fsync_policy != "os":
+            if self.fs.exists(self._path(self._active)):
+                self._fsync_active()
+        close = getattr(self.fs, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,75 @@
+"""Crash recovery: newest checkpoint + log replay → writer state.
+
+The recovery sequence (also narrated in ``docs/durability.md``):
+
+1. load the newest checkpoint the manifest references — a full
+   :class:`~repro.replica.snapshot.Snapshot` of the view store plus the
+   base database's row state, both captured at one generation;
+2. restore the store against the caller's ATG (fingerprint-verified)
+   and reload the base tables;
+3. replay every logged record past the checkpoint generation, applying
+   its ΔR to the base database and folding its event into the store
+   with the replica's own :func:`~repro.replica.fold.fold_event` —
+   recovery and replication rebuild state through the same code path;
+4. report the generation the replay landed on, which becomes the
+   recovered service's version counter.
+
+Torn tails were already truncated at WAL open (a crash mid-append can
+only tear the last record, and an un-acknowledged commit owes nobody
+durability); anything else that fails to decode raised a typed
+:class:`~repro.errors.WalCorruptionError` before this module runs.
+"""
+
+from __future__ import annotations
+
+from repro.atg.model import ATG
+from repro.errors import WalError
+from repro.relational.database import Database
+from repro.replica.fold import fold_event
+from repro.replica.snapshot import Snapshot
+from repro.subscribe.delta import ViewEvent
+from repro.views.store import ViewStore
+from repro.wal.log import WriteAheadLog, decode_delta
+
+
+def recover_state(
+    atg: ATG,
+    db: Database,
+    wal: WriteAheadLog,
+    verify_fingerprint: bool = True,
+) -> tuple[ViewStore, int] | None:
+    """Rebuild the writer's store and base rows from an opened WAL.
+
+    Mutates ``db`` in place (checkpoint rows, then replayed ΔRs) and
+    returns ``(store, generation)`` — or ``None`` when the log holds no
+    checkpoint yet, meaning the directory is fresh and the caller should
+    boot normally and cut the initial checkpoint itself.
+
+    A coarse record in the replay range raises :class:`WalError`: its
+    edge list does not describe the change, and the writer checkpoints
+    immediately after logging one precisely so that recovery never needs
+    to replay past it (hitting this means that checkpoint was lost).
+    """
+    payload = wal.latest_checkpoint()
+    if payload is None:
+        return None
+    state = payload["state"]
+    snapshot = Snapshot.from_dict(state["snapshot"])
+    store = snapshot.restore_store(atg, verify_fingerprint=verify_fingerprint)
+    db.load_state(state["db"])
+    generation = payload["generation"]
+    for gen, record in wal.records_since(generation):
+        event = ViewEvent.from_dict(record["event"])
+        if event.coarse:
+            raise WalError(
+                f"cannot replay the coarse record at generation {gen} "
+                f"(reason={event.reason!r}): its edge list does not "
+                f"describe the change and the checkpoint that should "
+                f"cover it is missing"
+            )
+        delta = decode_delta(record.get("delta_r"))
+        if delta is not None:
+            db.apply(delta)
+        fold_event(store, event)
+        generation = gen
+    return store, generation

@@ -261,6 +261,7 @@ class TestConsumerProtocol:
             "retention": 256,
             "retained": 1,
             "floor": 0,
+            "durable": False,
         }
 
     def test_callback_write_back_is_rejected(self):

@@ -21,6 +21,7 @@ leg under ``timeout``.
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -164,8 +165,12 @@ def test_readers_and_consumers_race_a_committing_writer(backend):
     ]
     for thread in threads:
         thread.start()
+    # Strict mode (calm machines / CI perf leg) keeps the tight bound;
+    # the loose default absorbs scheduler starvation on busy runners —
+    # a hang still fails, just later.
+    join_timeout = 60 if os.environ.get("REPRO_BENCH_STRICT") else 180
     for thread in threads:
-        thread.join(timeout=60)
+        thread.join(timeout=join_timeout)
     hung = [t.name for t in threads if t.is_alive()]
     assert not hung, f"threads failed to finish: {hung}"
     assert not errors, f"worker raised: {errors[0]!r}"
