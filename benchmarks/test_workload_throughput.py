@@ -1,0 +1,135 @@
+"""Throughput benchmark over generated workloads, with a regression gate.
+
+The workload generator (``repro-bench generate``) makes op streams
+first-class artifacts; this benchmark makes their *cost* first-class
+too.  Each measured pattern regenerates its stream deterministically
+(fixed seed), applies it through a fresh :class:`ViewService`, and
+records wall time and ops/second into ``BENCH_index.json`` under the
+``workload:<pattern>`` experiments — giving later PRs a machine-readable
+throughput trajectory per adversarial shape.
+
+The gate compares the fresh measurement against the best (highest
+ops/second) record already committed for the same experiment key.  In
+strict mode (``REPRO_BENCH_STRICT=1``, CI's calm perf leg) a drop of
+more than 30% fails; the default loose floor (10× slower) only catches
+catastrophic regressions, so laptop noise never flakes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from conftest import BENCH_INDEX_PATH, record_bench
+
+from repro.bench.workload_gen import WorkloadSpec, generate_records
+from repro.service import ViewConfig, open_view
+from repro.workloads import named_workload
+
+#: The measured shapes: the default blend plus the churn stress (GC and
+#: id-reuse heavy — the shape most sensitive to index-repair cost).
+MEASURED = (
+    WorkloadSpec(
+        workload="synthetic:120",
+        ops=150,
+        seed=42,
+        pattern="mixed",
+        key_skew=0.8,
+    ),
+    WorkloadSpec(
+        workload="synthetic:120",
+        ops=150,
+        seed=42,
+        pattern="churn",
+        key_skew=0.8,
+    ),
+)
+
+#: Throughput floor relative to the best committed record: strict mode
+#: fails a >30% drop, loose mode only a 10x collapse.
+STRICT_FLOOR = 0.70
+LOOSE_FLOOR = 0.10
+
+#: Measurement repeats; the best run is recorded (scheduler hiccups
+#: only ever slow a run down, so max throughput is least noisy).
+ROUNDS = 3
+
+
+def _best_committed(experiment: str, backend: str) -> float | None:
+    """Best committed ops/second for this experiment key, if any."""
+    if not BENCH_INDEX_PATH.exists():
+        return None
+    try:
+        payload = json.loads(BENCH_INDEX_PATH.read_text())
+    except ValueError:
+        return None
+    best = None
+    for rec in payload.get("records", []):
+        if (
+            rec.get("experiment") == experiment
+            and rec.get("backend") == backend
+            and rec.get("phase") == "apply"
+            and rec.get("ops_per_second")
+        ):
+            value = float(rec["ops_per_second"])
+            best = value if best is None else max(best, value)
+    return best
+
+
+def _apply_stream(spec: WorkloadSpec) -> tuple[float, int, str]:
+    """One timed application of ``spec``'s stream; returns
+    (seconds, accepted ops, resolved backend)."""
+    records = list(generate_records(spec))  # generation is not timed
+    ops = records[1:]
+    atg, db = named_workload(spec.workload)
+    service = open_view(atg, db, config=ViewConfig(strict=False))
+    start = time.perf_counter()
+    accepted = sum(1 for op in ops if service.apply(op).accepted)
+    elapsed = time.perf_counter() - start
+    backend = service.stats()["index_backend"]
+    assert accepted == spec.ops  # generated streams apply cleanly
+    assert service.check_consistency() == []
+    return elapsed, accepted, backend
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize(
+    "spec", MEASURED, ids=[spec.pattern for spec in MEASURED]
+)
+def test_workload_throughput_recorded_and_gated(spec):
+    best_elapsed = float("inf")
+    backend = "auto"
+    for _ in range(ROUNDS):
+        elapsed, _accepted, backend = _apply_stream(spec)
+        best_elapsed = min(best_elapsed, elapsed)
+    ops_per_second = spec.ops / max(best_elapsed, 1e-9)
+    experiment = f"workload:{spec.pattern}"
+
+    # The gate reads the *committed* best before this session's record
+    # overwrites it at sessionfinish.
+    best = _best_committed(experiment, backend)
+    record_bench(
+        experiment,
+        backend,
+        "apply",
+        best_elapsed,
+        ops=spec.ops,
+        ops_per_second=round(ops_per_second, 1),
+        workload=spec.workload,
+        seed=spec.seed,
+    )
+    if best is None:
+        pytest.skip(
+            f"no committed baseline for {experiment}/{backend}; "
+            f"recorded {ops_per_second:.0f} ops/s as the first data point"
+        )
+    floor = STRICT_FLOOR if os.environ.get("REPRO_BENCH_STRICT") else (
+        LOOSE_FLOOR
+    )
+    assert ops_per_second >= best * floor, (
+        f"{experiment} throughput regressed: {ops_per_second:.0f} ops/s "
+        f"vs best committed {best:.0f} ops/s "
+        f"({ops_per_second / best:.0%}, floor {floor:.0%})"
+    )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition document.
+
+Usage::
+
+    python scripts/validate_metrics.py metrics.prom
+    python -m repro.apply --workload registrar --metrics - ops.jsonl \
+        | python scripts/validate_metrics.py -
+    python scripts/validate_metrics.py current.prom --previous before.prom
+
+Reads an exposition document (a file path, or ``-`` for stdin), checks
+it with :func:`repro.metrics.validate.validate_exposition`, prints every
+problem to stderr and exits 1 if any were found.  ``--previous`` adds
+the cross-scrape check: counters (and histogram ``_bucket`` / ``_sum``
+/ ``_count`` series) must not have decreased since the earlier scrape.
+
+Lines that are not part of an exposition (the apply CLI's summary
+table, say) fail loudly — pipe only the metrics block in, or use
+``--metrics PATH`` to write it to its own file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+# Runnable straight from a checkout (CI does `python scripts/...` before
+# an editable install is guaranteed): put src/ on the path if the
+# package is not importable yet.
+try:
+    from repro.metrics.validate import validate_exposition
+except ImportError:  # pragma: no cover - checkout-only convenience
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    from repro.metrics.validate import validate_exposition
+
+
+def _read(source: str) -> str:
+    if source == "-":
+        return sys.stdin.read()
+    return pathlib.Path(source).read_text(encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="validate_metrics.py",
+        description="Validate Prometheus text exposition output.",
+    )
+    parser.add_argument(
+        "exposition",
+        help="exposition file to validate, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--previous",
+        metavar="FILE",
+        default=None,
+        help="an earlier scrape of the same target; counters must not "
+        "have decreased since",
+    )
+    args = parser.parse_args(argv)
+    try:
+        text = _read(args.exposition)
+        previous = _read(args.previous) if args.previous else None
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_exposition(text, previous=previous)
+    for problem in problems:
+        print(f"invalid: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"{len(problems)} problem(s) found", file=sys.stderr
+        )
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"ok: {samples} sample(s), no problems")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -111,7 +111,7 @@ from repro.relational import (
 from repro.views import ViewStore, build_registry
 from repro.xpath import parse_xpath
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "ATG",

@@ -14,6 +14,9 @@ Usage::
     python -m repro.apply --workload registrar --wal wal/ ops.jsonl    # durable
     python -m repro.apply --workload registrar --wal wal/ --recover --stats
     # ^ post-crash: recover the log, verify consistency, print WAL stats
+    repro-bench generate --ops 100 | python -m repro.apply --metrics - -
+    # ^ generated streams carry a provenance header: the workload is
+    #   taken from it, and --metrics emits the Prometheus exposition
 
 Input lines look like::
 
@@ -38,10 +41,12 @@ unreadable file).
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
 from typing import Iterable, TextIO
 
+from repro.bench.workload_gen import parse_header_line
 from repro.errors import OpDecodeError, ReproError
 from repro.ops import ops_from_jsonl
 from repro.service import ViewConfig, open_view
@@ -68,7 +73,7 @@ def _summary_line(index: int, payload: dict) -> str:
 
 def run(
     lines: Iterable[str],
-    workload: str = "registrar",
+    workload: str | None = None,
     policy: str = "abort",
     index_backend: str = "auto",
     plan_only: bool = False,
@@ -79,6 +84,7 @@ def run(
     wal_dir: str | None = None,
     wal_fsync: str = "batch",
     recover_only: bool = False,
+    metrics_path: str | None = None,
     out: TextIO | None = None,
 ) -> int:
     """Drive the service with a JSONL op stream; returns the exit code.
@@ -87,14 +93,38 @@ def run(
     stay applied either way.  ``stop_on_error`` (default) stops the
     stream at the first bad line, otherwise bad lines are skipped.
 
+    A first line that is a ``repro-bench generate`` provenance header
+    is consumed (not treated as an op); with ``workload=None`` the
+    header's recorded workload is used, so ``repro-bench generate ... |
+    python -m repro.apply -`` targets the dataset the stream was built
+    for.  Without a header, ``workload=None`` means ``'registrar'``.
+
     ``wal_dir`` makes the service durable: commits are logged, and a
     non-empty directory is recovered before the stream is applied (so
     successive invocations with the same ``--wal`` accumulate).
     ``recover_only`` skips the stream entirely — recover, verify,
     report, exit — which is the post-crash health check.
+
+    ``metrics_path`` writes the service's Prometheus exposition
+    (:meth:`~repro.service.facade.ViewService.metrics_text`) there
+    after the run — ``'-'`` for stdout.
     """
     if out is None:
         out = sys.stdout
+    if metrics_path == "-" and out is sys.stdout:
+        # Keep stdout a clean exposition (pipeable into
+        # scripts/validate_metrics.py); the human report moves aside.
+        out = sys.stderr
+    header = None
+    lines = iter(lines)
+    first = next(lines, None)
+    if first is not None:
+        header = parse_header_line(first)
+        if header is None:
+            lines = itertools.chain([first], lines)
+    if workload is None:
+        params = (header or {}).get("params", {})
+        workload = params.get("workload", "registrar")
     atg, db = named_workload(workload)
     config = ViewConfig(
         side_effects=policy,
@@ -112,6 +142,14 @@ def run(
         )
     if recover_only:
         lines = ()
+    if header is not None and not as_json:
+        params = header.get("params", {})
+        print(
+            f"stream: provenance header consumed (workload "
+            f"{params.get('workload')!r}, pattern "
+            f"{params.get('pattern')!r}, seed {header.get('seed')})",
+            file=out,
+        )
     accepted = rejected = count = bad_lines = 0
     stopped_at: int | None = None
 
@@ -202,6 +240,13 @@ def run(
             f"-> {snapshot_path}",
             file=out,
         )
+    if metrics_path is not None:
+        exposition = service.metrics_text()
+        if metrics_path == "-":
+            sys.stdout.write(exposition)
+        else:
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
     if problems:
         for problem in problems:
             print(f"consistency: {problem}", file=sys.stderr)
@@ -225,8 +270,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--workload",
-        default="registrar",
-        help="registrar | bom | synthetic[:n_c[:seed]] | chain[:depth]",
+        default=None,
+        help="registrar | bom | synthetic[:n_c[:seed]] | chain[:depth] "
+        "(default: the input stream's provenance header if present, "
+        "else registrar)",
     )
     parser.add_argument(
         "--policy",
@@ -281,6 +328,16 @@ def main(argv: list[str] | None = None) -> int:
         "check)",
     )
     parser.add_argument(
+        "--metrics",
+        dest="metrics_path",
+        metavar="PATH",
+        default=None,
+        help="after the run, write the service's Prometheus text "
+        "exposition to PATH ('-' = stdout; the summary then moves to "
+        "stderr so the exposition stays pipeable into "
+        "scripts/validate_metrics.py)",
+    )
+    parser.add_argument(
         "--plan-only",
         action="store_true",
         help="dry run: plan each op, print the preview, abort it",
@@ -324,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         wal_dir=args.wal_dir,
         wal_fsync=args.wal_fsync,
         recover_only=args.recover_only,
+        metrics_path=args.metrics_path,
     )
     try:
         if args.ops_file is None or args.recover_only:

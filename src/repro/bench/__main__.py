@@ -4,6 +4,11 @@ Regenerates every paper artifact (Fig. 10(b), Fig. 11(a)-(h), Table 1)
 plus the ablations, printing paper-shaped tables.  ``--quick`` shrinks
 sizes for CI smoke runs; ``--csv DIR`` additionally writes one CSV per
 experiment into ``DIR`` (for external plotting).
+
+``repro-bench generate ...`` is a subcommand: it dispatches to the
+workload generator (:mod:`repro.bench.workload_gen`), emitting a
+reproducible op-stream JSONL with a provenance header — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -33,6 +38,10 @@ def _write_csv(directory: str | None, name: str, rows: list[dict]) -> None:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:  # console-script entry point
         argv = sys.argv[1:]
+    if argv and argv[0] == "generate":
+        from repro.bench.workload_gen import main as generate_main
+
+        return generate_main(argv[1:])
     from repro.bench.experiments import (
         ablation_chain_depth,
         ablation_dag_vs_tree,

@@ -121,10 +121,11 @@ class ChangefeedConsumer:
                     # and stay attached.
                     self._queue.popleft()
                     self.drops += 1
-                    self._hub.drops += 1
+                    self._hub._on_drop()
                 else:
                     # block_writer: give the consumer a chance to drain
                     # a slot (next_event()/events() notify on take).
+                    self._hub._on_park()
                     self._cond.wait_for(
                         lambda: self._closed
                         or len(self._queue) < self._max_pending,

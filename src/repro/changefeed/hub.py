@@ -51,9 +51,13 @@ class _Staged:
 class ChangefeedHub:
     """Publishes one view's ΔV event stream to attached consumers."""
 
-    def __init__(self, updater, retention: int = DEFAULT_RETENTION, wal=None):
+    def __init__(self, updater, retention: int = DEFAULT_RETENTION, wal=None,
+                 metrics=None):
+        from repro.metrics import NULL_METRICS
+
         if retention < 1:
             raise ValueError(f"retention must be >= 1, got {retention}")
+        metrics = metrics if metrics is not None else NULL_METRICS
         self.updater = updater
         self.retention = retention
         self.wal = wal
@@ -82,6 +86,37 @@ class ChangefeedHub:
         self.drops = 0
         """Events discarded by ``backpressure='drop_oldest'`` consumers
         (summed across all of them, detached ones included)."""
+        self.parks = 0
+        """Deliveries that had to wait (``backpressure='block_writer'``)
+        for a full pull queue to drain a slot — each park delayed the
+        publisher by up to ``block_timeout`` seconds."""
+        self._m_published = metrics.counter(
+            "repro_events_published_total",
+            "Events published to the changefeed (coalesced batches "
+            "count once).",
+        )
+        self._m_overflows = metrics.counter(
+            "repro_consumer_overflows_total",
+            "Pull consumers detached for exceeding their queue bound.",
+        )
+        self._m_drops = metrics.counter(
+            "repro_consumer_drops_total",
+            "Events discarded by drop_oldest backpressure consumers.",
+        )
+        self._m_parks = metrics.counter(
+            "repro_consumer_parks_total",
+            "Deliveries parked waiting for a full pull queue to drain "
+            "(block_writer backpressure).",
+        )
+        self._m_callback_errors = metrics.counter(
+            "repro_consumer_callback_errors_total",
+            "Live deliveries that raised and detached their consumer.",
+        )
+        for instrument in (
+            self._m_published, self._m_overflows, self._m_drops,
+            self._m_parks, self._m_callback_errors,
+        ):
+            instrument.inc(0)  # materialize at 0 in the exposition
 
     # -- attachment -----------------------------------------------------------------
 
@@ -240,6 +275,7 @@ class ChangefeedHub:
                 if self.checkpoint_fn is not None:
                     self.checkpoint_fn()
         self.events_published += 1
+        self._m_published.inc()
         with self._members:
             consumers = list(self._consumers)
         return _Staged(event, consumers)
@@ -258,13 +294,27 @@ class ChangefeedHub:
             try:
                 if not consumer._deliver(event):
                     self.overflows += 1
+                    self._m_overflows.inc()
             except Exception as exc:
                 # The commit already happened; letting a consumer bug
                 # propagate here would tell the writer its (successful)
                 # update failed.  Record and detach the consumer instead.
                 consumer.error = exc
                 self.callback_errors += 1
+                self._m_callback_errors.inc()
                 consumer.close()
+
+    # -- backpressure accounting (called by consumers) ----------------------------
+
+    def _on_drop(self) -> None:
+        """One event discarded by a ``drop_oldest`` consumer."""
+        self.drops += 1
+        self._m_drops.inc()
+
+    def _on_park(self) -> None:
+        """One ``block_writer`` delivery parked on a full queue."""
+        self.parks += 1
+        self._m_parks.inc()
 
     # -- diagnostics ------------------------------------------------------------------
 
@@ -277,6 +327,7 @@ class ChangefeedHub:
             "callback_errors": self.callback_errors,
             "overflows": self.overflows,
             "drops": self.drops,
+            "parks": self.parks,
             "retention": self.retention,
             "retained": len(self._buffer) if self._buffer else 0,
             "floor": self.floor,

@@ -1,0 +1,62 @@
+"""Prometheus text exposition rendering for a :class:`MetricsRegistry`.
+
+The output follows the text-based exposition format version 0.0.4:
+one ``# HELP`` and one ``# TYPE`` comment per family, then every series
+— histograms expand into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.  ``scripts/validate_metrics.py`` checks the
+output's well-formedness (and counter monotonicity across scrapes), so
+the renderer and the validator together freeze the surface.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.registry import MetricsRegistry, format_labels
+
+
+def _merge_labels(key: tuple, extra: tuple[tuple[str, str], ...]) -> str:
+    return format_labels(tuple(sorted((*key, *extra))))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    # le= values render like sample values: trailing .0 trimmed off
+    # integers, full precision kept elsewhere.
+    return _format_value(float(bound))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    Families render in name order, series in label order, so two
+    renders of the same state are byte-identical (the soak harness and
+    the golden tests rely on this).
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for key, series in family.series():
+            if family.type in ("counter", "gauge"):
+                lines.append(
+                    f"{family.name}{format_labels(key)} "
+                    f"{_format_value(series.value)}"
+                )
+                continue
+            snap = series.snapshot()
+            for bound, cumulative in snap["buckets"].items():
+                le = bound if bound == "+Inf" else _format_bound(float(bound))
+                labels = _merge_labels(key, (("le", le),))
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            lines.append(
+                f"{family.name}_sum{format_labels(key)} "
+                f"{_format_value(snap['sum'])}"
+            )
+            lines.append(
+                f"{family.name}_count{format_labels(key)} {snap['count']}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,231 @@
+"""Validate Prometheus text exposition output (and scrape deltas).
+
+The checking half of the metrics contract: :func:`validate_exposition`
+parses an exposition document (what :func:`repro.metrics.render.
+render_prometheus` or ``repro.apply --metrics`` emits) and returns a
+list of problems — an empty list means the document is well-formed.
+``scripts/validate_metrics.py`` is the CLI wrapper CI runs.
+
+Checks, each with a pointed message naming the offending series:
+
+- every sample belongs to a family announced by ``# HELP`` *and*
+  ``# TYPE`` lines (in that order, before any of its samples);
+- the ``TYPE`` is one of ``counter`` / ``gauge`` / ``histogram``;
+- no series (name + label set) appears twice;
+- values parse as finite numbers; counter values are non-negative;
+- histograms are internally consistent: bucket counts are cumulative
+  (non-decreasing as ``le`` grows), the ``+Inf`` bucket is present and
+  equals ``_count``, and ``_sum``/``_count`` exist for every bucketed
+  series;
+- with a *previous* exposition to compare against, counters (histogram
+  ``_bucket``/``_count``/``_sum`` included) must not decrease — a
+  non-monotonic counter means a restart the scraper did not see, or an
+  instrumentation bug.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: Legal TYPE values (the subset this library emits).
+VALID_TYPES = ("counter", "gauge", "histogram")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _base_name(name: str) -> str:
+    """The family name a sample belongs to (strip histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_exposition(text: str) -> tuple[dict, dict, list[str]]:
+    """Parse exposition text into (families, samples, problems).
+
+    ``families`` maps family name to ``{"help": bool, "type": str}``;
+    ``samples`` maps ``(sample name, sorted label tuple)`` to its float
+    value.  Parse-level problems are returned rather than raised so the
+    caller can report all of them at once.
+    """
+    families: dict[str, dict] = {}
+    samples: dict[tuple, float] = {}
+    problems: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(f"line {lineno}: HELP without text: {line!r}")
+                continue
+            families.setdefault(parts[2], {})["help"] = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            name, metric_type = parts[2], parts[3]
+            entry = families.setdefault(name, {})
+            if metric_type not in VALID_TYPES:
+                problems.append(
+                    f"line {lineno}: family {name!r} has unknown type "
+                    f"{metric_type!r} (expected one of {VALID_TYPES})"
+                )
+            entry["type"] = metric_type
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels") or ""
+        labels = tuple(sorted(
+            (k, v) for k, v in _LABEL.findall(labels_text)
+        ))
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: series {name!r} has non-numeric value "
+                f"{match.group('value')!r}"
+            )
+            continue
+        key = (name, labels)
+        if key in samples:
+            problems.append(
+                f"line {lineno}: duplicate series {_series_repr(key)}"
+            )
+            continue
+        samples[key] = value
+    return families, samples, problems
+
+
+def _series_repr(key: tuple) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _check_histogram(family: str, samples: dict, problems: list[str]) -> None:
+    """Bucket/count/sum coherence for one histogram family."""
+    # Group buckets by their non-le label set.
+    grouped: dict[tuple, list[tuple[str, float]]] = {}
+    for (name, labels), value in samples.items():
+        if name != family + "_bucket":
+            continue
+        le = dict(labels).get("le")
+        if le is None:
+            problems.append(
+                f"histogram series {_series_repr((name, labels))} is "
+                f"missing its 'le' label"
+            )
+            continue
+        rest = tuple(kv for kv in labels if kv[0] != "le")
+        grouped.setdefault(rest, []).append((le, value))
+    for rest, buckets in grouped.items():
+        ident = _series_repr((family, rest))
+
+        def bound(le: str) -> float:
+            return math.inf if le == "+Inf" else float(le)
+
+        ordered = sorted(buckets, key=lambda item: bound(item[0]))
+        previous = -1.0
+        for le, value in ordered:
+            if value < previous:
+                problems.append(
+                    f"histogram {ident}: bucket le={le} count {value:g} "
+                    f"is below the previous bucket's {previous:g} "
+                    f"(buckets must be cumulative)"
+                )
+            previous = value
+        inf = dict(buckets).get("+Inf")
+        if inf is None:
+            problems.append(f"histogram {ident}: no '+Inf' bucket")
+        count = samples.get((family + "_count", rest))
+        if count is None:
+            problems.append(f"histogram {ident}: missing _count series")
+        elif inf is not None and count != inf:
+            problems.append(
+                f"histogram {ident}: _count is {count:g} but the +Inf "
+                f"bucket holds {inf:g} (they must match)"
+            )
+        if (family + "_sum", rest) not in samples:
+            problems.append(f"histogram {ident}: missing _sum series")
+
+
+def validate_exposition(text: str, previous: str | None = None) -> list[str]:
+    """All problems with ``text`` ([] = valid).
+
+    ``previous`` is an earlier scrape of the same target: counter
+    families (and histogram ``_bucket``/``_count``/``_sum`` series)
+    must not have decreased since.
+    """
+    families, samples, problems = parse_exposition(text)
+    for (name, labels), value in samples.items():
+        base = _base_name(name)
+        family = families.get(base) or families.get(name)
+        ident = _series_repr((name, labels))
+        if family is None:
+            problems.append(
+                f"series {ident} has no # HELP/# TYPE announcement"
+            )
+            continue
+        if not family.get("help"):
+            problems.append(f"series {ident} has no # HELP line")
+        if "type" not in family:
+            problems.append(f"series {ident} has no # TYPE line")
+            continue
+        if not math.isfinite(value):
+            problems.append(f"series {ident} has non-finite value {value!r}")
+        kind = family["type"]
+        if kind == "counter" and value < 0:
+            problems.append(
+                f"counter {ident} is negative ({value:g}); counters only "
+                f"go up"
+            )
+        if kind == "histogram" and name == base:
+            problems.append(
+                f"series {ident} is declared a histogram but has no "
+                f"_bucket/_sum/_count suffix"
+            )
+    for name, family in families.items():
+        if family.get("type") == "histogram":
+            _check_histogram(name, samples, problems)
+    if previous is not None:
+        prev_families, prev_samples, prev_problems = (
+            parse_exposition(previous)
+        )
+        problems.extend(
+            f"previous exposition: {problem}" for problem in prev_problems
+        )
+        for key, old in prev_samples.items():
+            name, _labels = key
+            base = _base_name(name)
+            fam = families.get(base) or families.get(name)
+            kind = (fam or {}).get("type")
+            monotonic = kind == "counter" or (
+                kind == "histogram" and name != base
+            )
+            if not monotonic:
+                continue
+            new = samples.get(key)
+            if new is not None and new < old:
+                problems.append(
+                    f"counter {_series_repr(key)} went backwards: "
+                    f"{old:g} -> {new:g} (non-monotonic)"
+                )
+    return problems

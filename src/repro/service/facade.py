@@ -21,6 +21,7 @@ Two write protocols:
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Iterable
 
@@ -35,6 +36,7 @@ from repro.core.updater import (
     XMLViewUpdater,
 )
 from repro.errors import PlanError, ReproError
+from repro.metrics import MetricsRegistry, render_prometheus
 from repro.ops import BaseUpdateOp, UpdateOperation, op_from_dict
 from repro.relational.database import Database
 from repro.service.config import ViewConfig
@@ -62,6 +64,19 @@ class ViewService:
     ):
         self.config = config or ViewConfig()
         self._lock = RWLock()
+        # One registry for the whole service; every component below
+        # registers its instruments here, so ``service.metrics()`` /
+        # ``metrics_text()`` expose a single coherent surface.
+        self.metrics_registry = MetricsRegistry()
+        self._m_ops = self.metrics_registry.counter(
+            "repro_ops_total",
+            "Update operations applied through the service, by kind "
+            "and acceptance.",
+        )
+        self._m_xpath = self.metrics_registry.histogram(
+            "repro_xpath_seconds",
+            "XPath read-path evaluation latency (lock wait included).",
+        )
         # With ``wal_dir`` set, open (or create) the durable changefeed
         # log first: a non-empty log *recovers* the exact last-durable
         # state — checkpoint restore + record replay — instead of
@@ -81,6 +96,7 @@ class ViewService:
                 checkpoint_every=self.config.wal_checkpoint_every,
                 keep_checkpoints=self.config.wal_keep_checkpoints,
                 fs=wal_fs,
+                metrics=self.metrics_registry,
             )
             recovered = recover_state(atg, db, self.wal)
             if recovered is not None:
@@ -108,6 +124,7 @@ class ViewService:
             self.updater,
             self._lock,
             coarse_threshold=self.config.coarse_event_threshold,
+            metrics=self.metrics_registry,
         )
         # Likewise the changefeed hub attaches on the first changefeed()
         # call; from then on it stays attached so replay retention is
@@ -119,6 +136,7 @@ class ViewService:
             self.updater,
             retention=self.config.changefeed_retention,
             wal=self.wal,
+            metrics=self.metrics_registry,
         )
         # The staged commit pipeline (plan → mutate → maintain →
         # publish): writes open a pipeline scope instead of a bare write
@@ -130,7 +148,7 @@ class ViewService:
         if self.config.commit_pipeline:
             self.pipeline = CommitPipeline(
                 self._lock, self.updater, self.subscriptions,
-                self.changefeeds,
+                self.changefeeds, metrics=self.metrics_registry,
             )
             self.updater._sink = self.pipeline
         if self.wal is not None:
@@ -236,14 +254,15 @@ class ViewService:
             decoded = self._decode(op)
             with self._write_scope() as record:
                 if record is None:
-                    return self.updater.apply_op(decoded)
+                    return self._count_op(self.updater.apply_op(decoded))
                 # The same dispatch as updater.apply_op, with the two
                 # foreground phases marked on the commit record.
                 with record.phase("plan"):
                     plan = self.updater.plan(decoded)
                 if plan.state is PlanState.REJECTED:
-                    return plan.outcome  # strict mode raised inside plan()
-                return plan.commit()
+                    # strict mode raised inside plan()
+                    return self._count_op(plan.outcome)
+                return self._count_op(plan.commit())
         ops = [self._decode(item) for item in op]
         base = [o for o in ops if isinstance(o, BaseUpdateOp)]
         if base:
@@ -257,7 +276,9 @@ class ViewService:
             try:
                 with self.updater.batch():
                     for decoded in ops:
-                        outcomes.append(self.updater.apply_op(decoded))
+                        outcomes.append(
+                            self._count_op(self.updater.apply_op(decoded))
+                        )
             except ReproError as exc:
                 # Ops before the failure are committed (the session has
                 # flushed); hand their outcomes to the caller for
@@ -265,6 +286,14 @@ class ViewService:
                 exc.batch_outcomes = outcomes
                 raise
         return outcomes
+
+    def _count_op(self, outcome: UpdateOutcome) -> UpdateOutcome:
+        """Account one applied op on the metrics surface (pass-through)."""
+        self._m_ops.labels(
+            kind=outcome.kind,
+            accepted="true" if outcome.accepted else "false",
+        ).inc()
+        return outcome
 
     def plan(self, op: UpdateOperation | dict) -> UpdatePlan:
         """Run the foreground phases; commit/abort later.
@@ -376,8 +405,12 @@ class ViewService:
 
     def xpath(self, path: str | XPath) -> EvalResult:
         """Evaluate an XPath on the current view (no update)."""
-        with self._lock.read():
-            return self.updater.evaluate_xpath(path)
+        start = time.perf_counter()
+        try:
+            with self._lock.read():
+                return self.updater.evaluate_xpath(path)
+        finally:
+            self._m_xpath.observe(time.perf_counter() - start)
 
     # Drop-in alias for code migrating from the updater surface.
     evaluate_xpath = xpath
@@ -436,6 +469,50 @@ class ViewService:
                 "wal": self.wal.stats() if self.wal is not None else None,
                 "config": self.config.to_dict(),
             }
+
+    def _refresh_gauges(self) -> None:
+        """Set the point-in-time gauges from live state (under the
+        read lock, so one scrape describes one generation)."""
+        reg = self.metrics_registry
+        store = self.updater.store
+        reg.gauge(
+            "repro_generation", "Current committed view generation."
+        ).set(self.updater._version)
+        reg.gauge("repro_view_nodes", "Nodes in the view store.").set(
+            store.num_nodes
+        )
+        reg.gauge("repro_view_edges", "Edges in the view store.").set(
+            store.num_edges
+        )
+        reg.gauge(
+            "repro_subscriptions_active", "Standing subscriptions."
+        ).set(len(list(self.subscriptions)))
+        reg.gauge(
+            "repro_changefeed_consumers", "Attached changefeed consumers."
+        ).set(len(self.changefeeds))
+
+    def metrics(self) -> dict:
+        """The metrics surface as a JSON-safe dict.
+
+        Counters and histograms accumulate since construction; gauges
+        (generation, store sizes, consumer counts) are refreshed at
+        call time under the read lock.  See ``docs/observability.md``
+        for the catalog.
+        """
+        with self._lock.read():
+            self._refresh_gauges()
+            return self.metrics_registry.to_dict()
+
+    def metrics_text(self) -> str:
+        """The metrics surface in Prometheus text exposition format.
+
+        The output passes ``scripts/validate_metrics.py`` and is
+        byte-deterministic for a given registry state (families sorted
+        by name, series by label value).
+        """
+        with self._lock.read():
+            self._refresh_gauges()
+            return render_prometheus(self.metrics_registry)
 
     # -- delegation (read-mostly internals used by tests/benchmarks) ---------------
 

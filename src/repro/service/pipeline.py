@@ -134,11 +134,36 @@ class CommitPipeline:
     to the registry/hub observers inline.
     """
 
-    def __init__(self, lock, updater, registry, hub):
+    def __init__(self, lock, updater, registry, hub, metrics=None):
+        from repro.metrics import NULL_METRICS
+
+        metrics = metrics if metrics is not None else NULL_METRICS
         self._lock = lock
         self.updater = updater
         self.registry = registry
         self.hub = hub
+        self._m_commits = metrics.counter(
+            "repro_commits_total",
+            "Completed write scopes (aborted plans included).",
+        )
+        self._m_sealed = metrics.counter(
+            "repro_commit_records_sealed_total",
+            "Write scopes that sealed and published a non-empty event.",
+        )
+        self._m_commits.inc(0)  # materialize at 0 (empty families
+        self._m_sealed.inc(0)   # are omitted from the exposition)
+        self._m_phase = metrics.histogram(
+            "repro_commit_phase_seconds",
+            "Per-phase commit latency (plan/mutate/maintain/publish).",
+        )
+        self._m_lock_wait = metrics.histogram(
+            "repro_lock_wait_seconds",
+            "Time writers waited to acquire the write lock.",
+        )
+        self._m_lock_hold = metrics.histogram(
+            "repro_lock_hold_seconds",
+            "Time the write lock was held per commit (publish excluded).",
+        )
         self._local = threading.local()
         self._turn_cond = threading.Condition()
         self._next_ticket = 0
@@ -289,6 +314,14 @@ class CommitPipeline:
             for name in PHASES:
                 self.phase_seconds[name] += timings.get(name, 0.0)
             self.last = {"generation": record.generation, **timings}
+        self._m_commits.inc()
+        if record.event is not None:
+            self._m_sealed.inc()
+        self._m_lock_wait.observe(timings.get("lock_wait", 0.0))
+        self._m_lock_hold.observe(hold)
+        for name in PHASES:
+            if name in timings:
+                self._m_phase.labels(phase=name).observe(timings[name])
 
     def stats(self) -> dict:
         """JSON-safe pipeline counters (for ``service.stats()``)."""

@@ -264,8 +264,18 @@ class _PatternIndex:
 class SubscriptionRegistry:
     """All subscriptions of one view; consumes the commit event stream."""
 
-    def __init__(self, updater, lock=None, coarse_threshold: int | None = None):
+    def __init__(self, updater, lock=None, coarse_threshold: int | None = None,
+                 metrics=None):
+        from repro.metrics import NULL_METRICS
+
+        metrics = metrics if metrics is not None else NULL_METRICS
         self.updater = updater
+        self._m_events = metrics.counter(
+            "repro_subscription_events_total",
+            "Commit events processed by the subscription registry "
+            "(coalesced batches count once).",
+        )
+        self._m_events.inc(0)  # materialize at 0 in the exposition
         self._lock = lock
         self._subs: list[Subscription] = []
         self._patterns = _PatternIndex()
@@ -441,6 +451,7 @@ class SubscriptionRegistry:
                     self._reindex_watch(sub)
         self.publish_seconds += time.perf_counter() - start
         self.events_processed += 1
+        self._m_events.inc()
 
     def apply_batched(self, event: ViewEvent) -> None:
         """The staged pipeline's maintain phase: one batched decision pass.
@@ -514,6 +525,7 @@ class SubscriptionRegistry:
         self._ledger_gen = event.generation
         self.publish_seconds += time.perf_counter() - start
         self.events_processed += 1
+        self._m_events.inc()
 
     # -- the lazy skip ledger -------------------------------------------------------
 

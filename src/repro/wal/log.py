@@ -127,7 +127,36 @@ class WriteAheadLog:
         keep_checkpoints: int = 2,
         fs=None,
         readonly: bool = False,
+        metrics=None,
     ):
+        from repro.metrics import NULL_METRICS
+
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_records = metrics.counter(
+            "repro_wal_records_total",
+            "Event records appended to the write-ahead log.",
+        )
+        self._m_bytes = metrics.counter(
+            "repro_wal_bytes_total",
+            "Framed bytes appended to the write-ahead log.",
+        )
+        self._m_fsyncs = metrics.counter(
+            "repro_wal_fsyncs_total",
+            "Explicit segment fsyncs issued (policy-dependent).",
+        )
+        self._m_rotations = metrics.counter(
+            "repro_wal_rotations_total",
+            "Log segments sealed by rotation.",
+        )
+        self._m_checkpoints = metrics.counter(
+            "repro_wal_checkpoints_total",
+            "Checkpoints cut into the log.",
+        )
+        for instrument in (
+            self._m_records, self._m_bytes, self._m_fsyncs,
+            self._m_rotations, self._m_checkpoints,
+        ):
+            instrument.inc(0)  # materialize at 0 in the exposition
         if fsync not in FSYNC_POLICIES:
             raise WalError(
                 f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
@@ -348,6 +377,8 @@ class WriteAheadLog:
         self._records.append((event.generation, payload))
         self._last_generation = event.generation
         self.records_appended += 1
+        self._m_records.inc()
+        self._m_bytes.inc(len(data))
         self._since_checkpoint += 1
         self._unsynced += 1
         if self.fsync_policy == "always" or (
@@ -363,6 +394,7 @@ class WriteAheadLog:
         if self._unsynced and self.fs.exists(path):
             self.fs.fsync(path)
             self.fsyncs += 1
+            self._m_fsyncs.inc()
         self._unsynced = 0
 
     def _rotate(self) -> None:
@@ -383,6 +415,7 @@ class WriteAheadLog:
         self._active_size = 0
         self._unsynced = 0
         self.rotations += 1
+        self._m_rotations.inc()
         self._write_manifest()
 
     # -- checkpoints -------------------------------------------------------------------
@@ -458,6 +491,7 @@ class WriteAheadLog:
             1 for gen, _ in self._records if gen > generation
         )
         self.checkpoints_written += 1
+        self._m_checkpoints.inc()
 
     def _covered(self, generation: int) -> bool:
         """Whether a record at ``generation`` is still on disk."""

@@ -258,6 +258,7 @@ class TestConsumerProtocol:
             "callback_errors": 0,
             "overflows": 0,
             "drops": 0,
+            "parks": 0,
             "retention": 256,
             "retained": 1,
             "floor": 0,

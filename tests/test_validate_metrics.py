@@ -1,0 +1,231 @@
+"""Tests for the exposition validator (library + CLI wrapper).
+
+``validate_exposition`` is the other half of the metrics contract: the
+renderer promises well-formed Prometheus text, the validator is what
+*checks* that promise in CI and across scrapes.  Each malformation gets
+a pointed message naming the offending series — these tests pin both
+the detection and the message, so a CI failure reads as a diagnosis.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.metrics import MetricsRegistry, render_prometheus
+from repro.metrics.validate import parse_exposition, validate_exposition
+
+SCRIPT = Path(__file__).parent.parent / "scripts" / "validate_metrics.py"
+
+VALID = """\
+# HELP repro_ops_total Ops applied.
+# TYPE repro_ops_total counter
+repro_ops_total{kind="insert"} 3
+repro_ops_total{kind="delete"} 1
+# HELP repro_generation Current generation.
+# TYPE repro_generation gauge
+repro_generation 4
+# HELP repro_lat_seconds Latency.
+# TYPE repro_lat_seconds histogram
+repro_lat_seconds_bucket{le="0.01"} 2
+repro_lat_seconds_bucket{le="+Inf"} 4
+repro_lat_seconds_sum 0.5
+repro_lat_seconds_count 4
+"""
+
+
+def problems(text: str, previous: str | None = None) -> str:
+    return "\n".join(validate_exposition(text, previous=previous))
+
+
+class TestValid:
+    def test_hand_written_document_passes(self):
+        assert validate_exposition(VALID) == []
+
+    def test_rendered_registry_passes(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.").labels(x="1").inc(2)
+        registry.gauge("b", "B.").set(7)
+        registry.histogram("c_seconds", "C.").observe(0.003)
+        assert validate_exposition(render_prometheus(registry)) == []
+
+    def test_empty_document_passes(self):
+        assert validate_exposition("") == []
+
+
+class TestMalformations:
+    def test_missing_help(self):
+        text = "# TYPE x_total counter\nx_total 1\n"
+        assert "series x_total has no # HELP line" in problems(text)
+
+    def test_missing_type(self):
+        text = "# HELP x_total X.\nx_total 1\n"
+        assert "series x_total has no # TYPE line" in problems(text)
+
+    def test_unannounced_series(self):
+        assert (
+            "series x_total has no # HELP/# TYPE announcement"
+            in problems("x_total 1\n")
+        )
+
+    def test_unknown_type(self):
+        text = "# HELP x X.\n# TYPE x summary\nx 1\n"
+        assert "unknown type 'summary'" in problems(text)
+
+    def test_duplicate_series(self):
+        text = (
+            "# HELP x_total X.\n# TYPE x_total counter\n"
+            'x_total{k="a"} 1\nx_total{k="a"} 2\n'
+        )
+        assert 'duplicate series x_total{k="a"}' in problems(text)
+
+    def test_duplicate_detection_is_label_aware(self):
+        text = (
+            "# HELP x_total X.\n# TYPE x_total counter\n"
+            'x_total{k="a"} 1\nx_total{k="b"} 2\n'
+        )
+        assert validate_exposition(text) == []
+
+    def test_negative_counter(self):
+        text = "# HELP x_total X.\n# TYPE x_total counter\nx_total -3\n"
+        assert "counter x_total is negative (-3)" in problems(text)
+
+    def test_non_numeric_value(self):
+        text = "# HELP x_total X.\n# TYPE x_total counter\nx_total NOPE\n"
+        assert "non-numeric value 'NOPE'" in problems(text)
+
+    def test_unparseable_sample(self):
+        text = "# HELP x X.\n# TYPE x gauge\n!!! what\n"
+        assert "unparseable sample" in problems(text)
+
+
+class TestHistogramCoherence:
+    def _doc(self, body: str) -> str:
+        return "# HELP h H.\n# TYPE h histogram\n" + body
+
+    def test_non_cumulative_buckets(self):
+        text = self._doc(
+            'h_bucket{le="0.01"} 5\nh_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 3\n"
+        )
+        out = problems(text)
+        assert "bucket le=+Inf count 3" in out
+        assert "must be cumulative" in out
+
+    def test_missing_inf_bucket(self):
+        text = self._doc('h_bucket{le="0.01"} 1\nh_sum 1\nh_count 1\n')
+        assert "histogram h: no '+Inf' bucket" in problems(text)
+
+    def test_count_bucket_mismatch(self):
+        text = self._doc(
+            'h_bucket{le="+Inf"} 4\nh_sum 1\nh_count 9\n'
+        )
+        assert (
+            "_count is 9 but the +Inf bucket holds 4" in problems(text)
+        )
+
+    def test_missing_sum_and_count(self):
+        text = self._doc('h_bucket{le="+Inf"} 4\n')
+        out = problems(text)
+        assert "histogram h: missing _count series" in out
+        assert "histogram h: missing _sum series" in out
+
+    def test_bare_histogram_sample(self):
+        text = self._doc("h 4\n")
+        assert "no _bucket/_sum/_count suffix" in problems(text)
+
+
+class TestMonotonicity:
+    def test_counter_regression_detected(self):
+        before = VALID
+        after = VALID.replace(
+            'repro_ops_total{kind="insert"} 3',
+            'repro_ops_total{kind="insert"} 2',
+        )
+        out = problems(after, previous=before)
+        assert (
+            'counter repro_ops_total{kind="insert"} went backwards: '
+            "3 -> 2" in out
+        )
+
+    def test_histogram_suffixes_are_monotonic_too(self):
+        after = VALID.replace(
+            "repro_lat_seconds_count 4", "repro_lat_seconds_count 1"
+        ).replace(
+            'repro_lat_seconds_bucket{le="+Inf"} 4',
+            'repro_lat_seconds_bucket{le="+Inf"} 1',
+        )
+        out = problems(after, previous=VALID)
+        assert "repro_lat_seconds_count went backwards" in out
+
+    def test_gauges_may_move_freely(self):
+        after = VALID.replace("repro_generation 4", "repro_generation 1")
+        assert validate_exposition(after, previous=VALID) == []
+
+    def test_growth_is_fine(self):
+        after = VALID.replace(
+            'repro_ops_total{kind="insert"} 3',
+            'repro_ops_total{kind="insert"} 30',
+        )
+        assert validate_exposition(after, previous=VALID) == []
+
+
+class TestParseExposition:
+    def test_families_and_samples(self):
+        families, samples, parse_problems = parse_exposition(VALID)
+        assert parse_problems == []
+        assert families["repro_ops_total"] == {"help": True,
+                                               "type": "counter"}
+        assert samples[("repro_ops_total", (("kind", "insert"),))] == 3.0
+        assert samples[("repro_generation", ())] == 4.0
+
+
+class TestCLI:
+    def _run(self, *argv, stdin=None):
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), *argv],
+            input=stdin,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_valid_file_exits_zero(self, tmp_path):
+        path = tmp_path / "m.prom"
+        path.write_text(VALID)
+        result = self._run(str(path))
+        assert result.returncode == 0, result.stderr
+        assert "no problems" in result.stdout
+
+    def test_stdin_dash(self):
+        result = self._run("-", stdin=VALID)
+        assert result.returncode == 0
+        # 7 sample lines in the document.
+        assert "ok: 7 sample(s)" in result.stdout
+
+    def test_invalid_exits_one_with_pointed_message(self, tmp_path):
+        path = tmp_path / "m.prom"
+        path.write_text("x_total 1\n")
+        result = self._run(str(path))
+        assert result.returncode == 1
+        assert "no # HELP/# TYPE announcement" in result.stderr
+        assert "1 problem(s) found" in result.stderr
+
+    def test_previous_scrape_gate(self, tmp_path):
+        before = tmp_path / "before.prom"
+        after = tmp_path / "after.prom"
+        before.write_text(VALID)
+        after.write_text(
+            VALID.replace(
+                'repro_ops_total{kind="delete"} 1',
+                'repro_ops_total{kind="delete"} 0',
+            )
+        )
+        result = self._run(str(after), "--previous", str(before))
+        assert result.returncode == 1
+        assert "went backwards: 1 -> 0" in result.stderr
+
+    def test_missing_file_exits_two(self, tmp_path):
+        result = self._run(str(tmp_path / "nope.prom"))
+        assert result.returncode == 2
+        assert "error:" in result.stderr
